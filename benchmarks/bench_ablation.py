@@ -1,0 +1,80 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Overlap edges on/off: without q-q overlap edges the optimizer cannot
+   see pub/sub sharing (the Scheme 2 vs Scheme 3 distinction of Table 2)
+   and the measured communication cost suffers.
+2. Benefit window x: Algorithm 3's quality/migration trade-off knob.
+"""
+
+from dataclasses import replace
+
+from conftest import emit
+
+from repro.experiments.config import bench_scale, build_testbed
+
+
+def _distribute_cost(bed, overlap_neighbors: int) -> float:
+    cfg = replace(bed.config.cosmos, max_overlap_neighbors=overlap_neighbors)
+    cosmos = bed.new_cosmos(cfg)
+    placement = cosmos.distribute(bed.workload.queries)
+    return bed.cost(dict(placement))
+
+
+def test_overlap_edges_ablation(benchmark, config_factory):
+    bed = build_testbed(config_factory(1200))
+
+    def run():
+        return (
+            _distribute_cost(bed, 0),
+            _distribute_cost(bed, 30),
+        )
+
+    cost_without, cost_with = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation: q-q overlap edges\n"
+        f"  without overlap edges: cost = {cost_without / 1e3:10.1f}\n"
+        f"  with overlap edges:    cost = {cost_with / 1e3:10.1f}\n"
+        f"  overlap edges help: {cost_with <= cost_without}"
+    )
+    assert cost_with <= cost_without * 1.02
+
+
+def test_benefit_window_ablation(benchmark, config_factory):
+    """Sweep Algorithm 3's x parameter (the paper fixes x = 10%)."""
+    import random
+
+    from repro.core.rebalance import rebalance
+    from repro.baselines.simple import (
+        global_network_graph,
+        global_query_graph,
+        random_placement,
+    )
+
+    bed = build_testbed(config_factory(600))
+    ng = global_network_graph(bed.processors, bed.oracle)
+    qg = global_query_graph(bed.workload.queries, bed.workload.space, ng)
+
+    def run():
+        out = {}
+        for x in (0.0, 0.10, 0.50):
+            assignment = {
+                vid: ("p", random_placement(
+                    [bed.workload.by_id(qv.members[0])], bed.processors,
+                    seed=17,
+                )[qv.members[0]])
+                for vid, qv in qg.qverts.items()
+            }
+            assignment.update(qg.pinned_mapping(ng))
+            stats = rebalance(
+                qg, ng, assignment, benefit_window=x,
+                rng=random.Random(1),
+            )
+            out[x] = (stats.moved_vertices, stats.moved_state)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: Algorithm 3 benefit window x"]
+    for x, (moves, state) in sorted(results.items()):
+        lines.append(f"  x={x:4.2f}: moves={moves:5d} state moved={state:10.1f}")
+    emit("\n".join(lines))
+    assert all(moves > 0 for moves, _ in results.values())

@@ -1,0 +1,23 @@
+"""Figure 10: perturbation of stream rates."""
+
+from conftest import emit
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, config_factory):
+    series = benchmark.pedantic(
+        fig10.run,
+        kwargs={"config": config_factory(800), "perturbed_streams": 160},
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig10.format_series(series))
+
+    # the adaptive scheme tracks centralized remapping on cost (within
+    # 20%) without losing to the non-adaptive baseline
+    assert series.adaptive_cost[-1] <= series.no_adaptive_cost[-1] * 1.05
+    assert series.adaptive_cost[-1] <= series.remapping_cost[-1] * 1.25
+    # the paper's headline: full remapping costs several times more query
+    # migrations than the adaptive algorithm
+    assert series.remapping_migrations > 2 * series.adaptive_migrations

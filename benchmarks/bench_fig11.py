@@ -1,0 +1,24 @@
+"""Figure 11: prototype study -- COSMOS vs two-phase operator placement."""
+
+from conftest import emit
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark):
+    rows = benchmark.pedantic(
+        fig11.run,
+        kwargs={"query_counts": (250, 1000, 4000)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig11.format_rows(rows))
+
+    # 11(a): comparable communication efficiency at moderate sizes, and
+    # the two-phase baseline loses its edge as the query count grows
+    first, last = rows[0], rows[-1]
+    ratio_first = first.cost_op_placement / first.cost_cosmos
+    ratio_last = last.cost_op_placement / last.cost_cosmos
+    assert ratio_last >= ratio_first  # the baseline's advantage shrinks
+    # 11(b): the baseline's running time grows with the query count
+    assert last.time_op_placement > first.time_op_placement

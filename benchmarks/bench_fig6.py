@@ -1,0 +1,30 @@
+"""Figure 6: initial distribution quality (a) and running time (b)."""
+
+from conftest import emit
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, config_factory):
+    rows = benchmark.pedantic(
+        fig6.run,
+        kwargs={
+            "config": config_factory(),
+            "query_counts": (300, 600, 1200, 2400),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig6.format_rows(rows))
+
+    for r in rows:
+        # Figure 6(a): Naive is the worst scheme; the hierarchical scheme
+        # tracks the centralized benchmark (within 15%)
+        assert r.cost_naive >= r.cost_hierarchical
+        assert r.cost_naive >= r.cost_centralized
+        assert r.cost_hierarchical <= 1.15 * r.cost_centralized
+
+    # Figure 6(b): the hierarchical response time stays below the
+    # centralized optimizer's at the largest population
+    last = rows[-1]
+    assert last.time_hierarchical_response <= last.time_centralized

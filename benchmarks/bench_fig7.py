@@ -1,0 +1,23 @@
+"""Figure 7: adapting to inaccurate a-priori statistics."""
+
+from conftest import emit
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, config_factory):
+    series = benchmark.pedantic(
+        fig7.run,
+        kwargs={"config": config_factory(1000), "rounds": 8},
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig7.format_series(series))
+
+    # 7(a): the adaptive runs repair the random start -- final cost is
+    # clearly below the non-adaptive line and approaches the accurate run
+    assert series.a_inaccurate_cost[-1] < 0.95 * series.na_inaccurate_cost[-1]
+    assert series.a_inaccurate_cost[-1] <= 1.10 * series.a_accurate_cost[-1]
+    # 7(b): adaptation keeps the load deviation at or below the
+    # non-adaptive random allocation
+    assert series.a_inaccurate_std[-1] <= series.na_inaccurate_std[-1] * 1.05

@@ -1,0 +1,26 @@
+"""Figure 8: new query arrival (Random vs Online vs Online-Adaptive)."""
+
+from conftest import emit
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, config_factory):
+    series = benchmark.pedantic(
+        fig8.run,
+        kwargs={
+            "config": config_factory(800),
+            "intervals": 8,
+            "batch_size": 40,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig8.format_series(series))
+
+    # 8(a): online insertion keeps the communication cost below Random's,
+    # and adding adaptation does not lose that advantage
+    assert series.online_cost[-1] < series.random_cost[-1]
+    assert series.online_adaptive_cost[-1] < series.random_cost[-1]
+    # 8(b): the adaptive variant ends at least as balanced as online-only
+    assert series.online_adaptive_std[-1] <= series.online_std[-1] * 1.05

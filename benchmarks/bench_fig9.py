@@ -1,0 +1,28 @@
+"""Figure 9: cluster size parameter k vs quality and throughput."""
+
+from conftest import emit
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, config_factory):
+    rows = benchmark.pedantic(
+        fig9.run,
+        kwargs={
+            "config": config_factory(800),
+            "ks": (2, 4, 8, 16),
+            "insertions": 150,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig9.format_rows(rows))
+
+    by_k = {r.k: r for r in rows}
+    # smaller k -> taller tree
+    assert by_k[2].tree_height >= by_k[16].tree_height
+    # 9(a): larger k -> flatter tree, less coarsening, better quality
+    assert by_k[16].cost <= by_k[2].cost
+    # 9(b): root throughput improves with smaller k (fewer children to
+    # score per insertion) -- compare the extremes
+    assert by_k[2].throughput >= by_k[16].throughput

@@ -1,0 +1,19 @@
+"""Comparison baselines: naive/random/greedy/centralized distribution."""
+
+from .simple import (
+    centralized_placement,
+    global_network_graph,
+    global_query_graph,
+    greedy_placement,
+    naive_placement,
+    random_placement,
+)
+
+__all__ = [
+    "naive_placement",
+    "random_placement",
+    "greedy_placement",
+    "centralized_placement",
+    "global_network_graph",
+    "global_query_graph",
+]

@@ -1,0 +1,183 @@
+"""Query graph coarsening (Algorithm 1).
+
+Repeatedly collapses matched vertex pairs -- preferring the heaviest
+incident edge, since heavily-connected vertices are likely to be mapped to
+the same network vertex anyway -- until the graph has at most ``vmax``
+vertices.  Constraints from the paper:
+
+* an n-vertex may only merge with an n-vertex of the *same* child cluster
+  (two n-vertices pinned to different clusters must stay separable);
+* an n-vertex with unknown cluster (external node) never merges with
+  another n-vertex;
+* merging a q-vertex into an n-vertex yields an n-vertex (``is_n(w)``),
+  keeping the cluster tag.
+
+The coarse graph's vertices carry enough aggregate state (interest mask,
+per-source and per-proxy rate maps, children) that edges can be
+re-estimated exactly and the vertex can later be uncoarsened one level.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..query.interest import SubstreamSpace
+from .graphs import NetworkGraph, NVertex, QueryGraph, QVertex, VertexId
+
+__all__ = ["CoarseVertex", "coarsen", "uncoarsen_vertex", "rebuild_edges"]
+
+_coarse_ids = itertools.count()
+
+
+@dataclass
+class CoarseVertex:
+    """Bookkeeping wrapper: a coarse q-vertex plus its pinned n-part.
+
+    When a q-vertex merges with an n-vertex the collapsed vertex must stay
+    an n-vertex (it is pinned to the n-vertex's cluster) while still
+    carrying query load.  ``pinned_node``/``clu`` record the n-part.
+    """
+
+    qvertex: QVertex
+    pinned_node: Optional[int] = None
+    clu: Optional[VertexId] = None
+
+    @property
+    def is_n(self) -> bool:
+        return self.pinned_node is not None
+
+
+def _merge_rate_maps(a: Dict[int, float], b: Dict[int, float]) -> Dict[int, float]:
+    out = dict(a)
+    for k, v in b.items():
+        out[k] = out.get(k, 0.0) + v
+    return out
+
+
+def merge_qvertices(
+    u: QVertex, v: QVertex, origin: Optional[Hashable] = None
+) -> QVertex:
+    """Collapse two q-vertices into a coarse one (lines 8-11)."""
+    return QVertex(
+        vid=("c", next(_coarse_ids)),
+        weight=u.weight + v.weight,
+        mask=u.mask | v.mask,
+        source_rates=_merge_rate_maps(u.source_rates, v.source_rates),
+        proxy_rates=_merge_rate_maps(u.proxy_rates, v.proxy_rates),
+        state_size=u.state_size + v.state_size,
+        members=u.members + v.members,
+        children=(u, v),
+        origin=origin,
+    )
+
+
+def rebuild_edges(
+    g: QueryGraph, space: SubstreamSpace, max_overlap_neighbors: int = 20
+) -> None:
+    """Re-estimate all edges of ``g`` from vertex aggregate state.
+
+    q-n edges come from the vertices' rate maps; q-q overlap edges from
+    interest-mask AND (the paper's bit-vector estimation).
+    """
+    for vid in list(g.adj):
+        g.adj[vid] = {}
+    from .graphs import _add_overlap_edges
+
+    qlist = list(g.qverts.values())
+    for qv in qlist:
+        for node, rate in qv.source_rates.items():
+            nvid = ("n", node)
+            if nvid in g.nverts:
+                g.add_edge(qv.vid, nvid, rate)
+        for node, rate in qv.proxy_rates.items():
+            nvid = ("n", node)
+            if nvid in g.nverts:
+                g.add_edge(qv.vid, nvid, rate)
+    _add_overlap_edges(g, qlist, space, max_overlap_neighbors)
+
+
+def coarsen(
+    g: QueryGraph,
+    vmax: int,
+    space: SubstreamSpace,
+    origin: Optional[Hashable] = None,
+    rng: Optional[random.Random] = None,
+    ng: Optional[NetworkGraph] = None,
+) -> QueryGraph:
+    """Algorithm 1: coarsen ``g`` until it has at most ``vmax`` vertices.
+
+    ``g`` is not modified; a new graph is returned.  Only q-vertices are
+    collapsed with each other in this implementation of the n-vertex rule:
+    q/n merges are realised by the mapping layer pinning the n-vertex, so
+    collapsing q into n is equivalent to a zero-distance preference, and
+    keeping them separate loses no information while keeping the
+    uncoarsening bookkeeping simple.  n-vertices therefore never merge
+    (the strictest reading of the cluster constraint).
+    """
+    rng = rng or random.Random(0)
+
+    # working copy
+    work = QueryGraph()
+    for qv in g.qverts.values():
+        work.add_qvertex(qv)
+    for nv in g.nverts.values():
+        work.add_nvertex(nv)
+    for a, b, w in g.edges():
+        work.set_edge(a, b, w)
+
+    while work.vertex_count() > vmax:
+        merged_any = False
+        matched = set()
+        qids = list(work.qverts)
+        rng.shuffle(qids)
+        for vid in qids:
+            if work.vertex_count() <= vmax:
+                break
+            if vid in matched or vid not in work.qverts:
+                continue
+            # candidate neighbours: unmatched q-vertices
+            candidates = [
+                (nbr, w)
+                for nbr, w in work.neighbors(vid).items()
+                if nbr in work.qverts and nbr not in matched and nbr != vid
+            ]
+            if not candidates:
+                continue
+            partner, _ = max(candidates, key=lambda kv: (kv[1], str(kv[0])))
+            u = work.qverts[vid]
+            v = work.qverts[partner]
+            w_new = merge_qvertices(u, v, origin=origin)
+
+            # collect union of neighbour edges before removal
+            nbr_edges: Dict[VertexId, float] = {}
+            for old in (vid, partner):
+                for nbr, w in work.neighbors(old).items():
+                    if nbr in (vid, partner):
+                        continue
+                    nbr_edges[nbr] = nbr_edges.get(nbr, 0.0) + w
+            work.remove_vertex(vid)
+            work.remove_vertex(partner)
+            work.add_qvertex(w_new)
+            for nbr, w in nbr_edges.items():
+                if nbr in work.qverts:
+                    # re-estimate overlap exactly from the merged mask
+                    w = space.overlap_rate(w_new.mask, work.qverts[nbr].mask)
+                work.set_edge(w_new.vid, nbr, w)
+            matched.add(w_new.vid)
+            merged_any = True
+        if not merged_any:
+            break  # nothing left to collapse (graph may stay above vmax)
+    return work
+
+
+def uncoarsen_vertex(v: QVertex) -> List[QVertex]:
+    """Expand a coarse vertex one level (its direct children).
+
+    Atomic vertices expand to themselves.
+    """
+    if not v.children:
+        return [v]
+    return list(v.children)

@@ -1,0 +1,621 @@
+"""Per-coordinator state and the hierarchical optimization protocol.
+
+Every coordinator owns
+
+* a **network subgraph** over its children (leaf coordinators: the
+  processors of their cluster; internal ones: one vertex per child
+  cluster, weighted with the cluster's total capability and sited at the
+  child coordinator's node);
+* a **query subgraph** over the (possibly coarse) q-vertices currently
+  assigned to its subtree, plus the n-vertices they reference;
+* an **assignment** mapping each q-vertex to one child.
+
+Three protocols run over the tree:
+
+1. *Initial distribution* -- query graphs are coarsened bottom-up
+   (Algorithm 1), then mapped top-down (Algorithm 2), uncoarsening one
+   level per hop (Section 3.5).
+2. *Online insertion* -- new queries route root-to-leaf, each hop picking
+   the WEC-minimising feasible child (Section 3.6).
+3. *Adaptive redistribution* -- each round, every coordinator re-balances
+   its children with diffusion + Algorithm 3 and then refines; decisions
+   propagate downward and physical migration happens only at the leaves
+   (Section 3.7).
+
+In the paper the coordinators are distributed processes that exchange
+(coarsened) graphs; here they are objects in one process, so "retrieving
+finer-grained information from the corresponding coordinator" is simply
+following the coarse vertex's ``children`` references.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..query.interest import SubstreamSpace
+from ..query.workload import QuerySpec
+from ..topology.latency import LatencyOracle
+from .coarsening import coarsen, merge_qvertices, uncoarsen_vertex
+from .graphs import (
+    DEFAULT_ALPHA,
+    Mapping,
+    NetVertex,
+    NetworkGraph,
+    QueryGraph,
+    QVertex,
+    VertexId,
+    build_query_graph,
+    qvertex_from_query,
+)
+from .hierarchy import Cluster
+from .insertion import attach_vertex, choose_target
+from .mapping import map_graph, refine_mapping
+from .rebalance import RebalanceStats, rebalance, refine_distribution
+
+__all__ = ["Coordinator", "AdaptationReport"]
+
+
+def _flatten(v: QVertex) -> List[QVertex]:
+    """Fully expand a coarse vertex to its atomic query vertices."""
+    if not v.children:
+        return [v]
+    out: List[QVertex] = []
+    for child in v.children:
+        out.extend(_flatten(child))
+    return out
+
+
+class AdaptationReport:
+    """Aggregate statistics of one adaptation round."""
+
+    def __init__(self):
+        self.migrated_queries: int = 0
+        self.migrated_state: float = 0.0
+        self.coordinator_moves: int = 0
+        self.refinement_moves: int = 0
+
+    def absorb(self, stats: RebalanceStats, refinement: int) -> None:
+        self.coordinator_moves += stats.moved_vertices
+        self.refinement_moves += refinement
+
+
+class Coordinator:
+    """One node of the coordinator tree (Section 3.3)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        oracle: LatencyOracle,
+        space: SubstreamSpace,
+        capabilities: Optional[Dict[int, float]] = None,
+        vmax: int = 150,
+        alpha: float = DEFAULT_ALPHA,
+        seed: int = 0,
+        placement: Optional[Dict[int, int]] = None,
+        max_overlap_neighbors: int = 20,
+    ):
+        self.cluster = cluster
+        self.name: VertexId = ("coord", cluster.cluster_id)
+        self.oracle = oracle
+        self.space = space
+        self.vmax = vmax
+        self.alpha = alpha
+        self.capabilities = capabilities or {}
+        self.rng = random.Random(seed ^ cluster.cluster_id)
+        self.max_overlap_neighbors = max_overlap_neighbors
+        #: query_id -> processor; shared by the whole tree (leaves write it)
+        self.placement: Dict[int, int] = placement if placement is not None else {}
+
+        self.children: List[Coordinator] = [
+            Coordinator(
+                child, oracle, space, capabilities, vmax, alpha, seed,
+                self.placement, max_overlap_neighbors,
+            )
+            for child in cluster.children
+        ]
+        self.is_leaf = not self.children
+        self.ng = self._build_network_graph()
+
+        #: the (possibly coarse) vertices currently at this level
+        self.vertices: Dict[VertexId, QVertex] = {}
+        self.qg: QueryGraph = QueryGraph()
+        self.assignment: Mapping = {}
+        #: CPU seconds spent in this coordinator's own optimization work
+        self.cpu_time: float = 0.0
+        # lazy routing state for online insertion (per-child masks/loads)
+        self._child_masks = None
+        self._loads: Dict[VertexId, float] = {}
+        self._total_weight: float = 0.0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _capability(self, node: int) -> float:
+        return self.capabilities.get(node, 1.0)
+
+    def _build_network_graph(self) -> NetworkGraph:
+        if self.is_leaf:
+            vertices = [
+                NetVertex(
+                    vid=("p", node),
+                    site=node,
+                    capability=self._capability(node),
+                    covers=frozenset([node]),
+                )
+                for node in self.cluster.members
+            ]
+        else:
+            vertices = []
+            for child in self.children:
+                descendants = child.cluster.descendants()
+                vertices.append(
+                    NetVertex(
+                        vid=child.name,
+                        site=child.cluster.coordinator,
+                        capability=sum(self._capability(p) for p in descendants),
+                        covers=frozenset(descendants),
+                    )
+                )
+        return NetworkGraph(vertices, self.oracle.__call__, oracle=self.oracle)
+
+    def _child_by_vid(self, vid: VertexId) -> "Coordinator":
+        for child in self.children:
+            if child.name == vid:
+                return child
+        raise KeyError(vid)
+
+    def all_coordinators(self) -> List["Coordinator"]:
+        out = [self]
+        for child in self.children:
+            out.extend(child.all_coordinators())
+        return out
+
+    def response_time(self) -> float:
+        """Critical-path optimization time (subtrees run in parallel)."""
+        if self.is_leaf:
+            return self.cpu_time
+        return self.cpu_time + max(c.response_time() for c in self.children)
+
+    def total_time(self) -> float:
+        """Total CPU time over all coordinators in the subtree."""
+        return self.cpu_time + sum(c.total_time() for c in self.children)
+
+    def reset_timers(self) -> None:
+        for c in self.all_coordinators():
+            c.cpu_time = 0.0
+
+    # ------------------------------------------------------------------
+    # phase 1a: bottom-up query graph hierarchy (Section 3.4)
+    # ------------------------------------------------------------------
+    def collect(self, queries: Sequence[QuerySpec]) -> List[QVertex]:
+        """Build the query-graph hierarchy; returns this subtree's coarse
+        vertex set (what would be "submitted to the parent coordinator")."""
+        t0 = time.perf_counter()
+        if self.is_leaf:
+            local = [
+                qvertex_from_query(q, self.space)
+                for q in queries
+                if q.proxy in self.cluster.members
+            ]
+            incoming = local
+        else:
+            incoming = []
+            for child in self.children:
+                incoming.extend(child.collect(queries))
+            t0 = time.perf_counter()  # exclude children's time from ours
+
+        if len(incoming) > self.vmax:
+            graph = build_query_graph(
+                incoming, self.space, self.ng, self.max_overlap_neighbors
+            )
+            coarse = coarsen(
+                graph, self.vmax, self.space, origin=self.name, rng=self.rng
+            )
+            result = list(coarse.qverts.values())
+        else:
+            result = list(incoming)
+        self.cpu_time += time.perf_counter() - t0
+        return result
+
+    # ------------------------------------------------------------------
+    # phase 1b: top-down initial distribution (Section 3.5)
+    # ------------------------------------------------------------------
+    def distribute(self, vertices: Sequence[QVertex]) -> None:
+        """Map ``vertices`` onto this coordinator's children, recurse.
+
+        Vertices are mapped at the granularity received (one-level
+        uncoarsened by the parent); all member queries of a vertex land on
+        the vertex's target, which is what keeps per-coordinator work
+        bounded by ``vmax`` regardless of the total query count.
+        """
+        t0 = time.perf_counter()
+        self.vertices = {v.vid: v for v in vertices}
+        self.qg = build_query_graph(
+            list(self.vertices.values()), self.space, self.ng,
+            self.max_overlap_neighbors,
+        )
+        result = map_graph(self.qg, self.ng, alpha=self.alpha)
+        self.assignment = result.mapping
+        self._invalidate_routing_state()
+        self.cpu_time += time.perf_counter() - t0
+
+        if self.is_leaf:
+            self._write_placement()
+        else:
+            for child in self.children:
+                assigned = [
+                    self.vertices[vid]
+                    for vid, target in self.assignment.items()
+                    if target == child.name and vid in self.vertices
+                ]
+                expanded: List[QVertex] = []
+                for v in assigned:
+                    expanded.extend(uncoarsen_vertex(v))
+                child.distribute(expanded)
+
+    def _write_placement(self) -> None:
+        for vid, target in self.assignment.items():
+            if vid not in self.vertices:
+                continue
+            processor = self.ng.site(target)
+            for query_id in self.vertices[vid].members:
+                self.placement[query_id] = processor
+
+    # ------------------------------------------------------------------
+    # phase 1c: adopting an externally-given placement
+    # ------------------------------------------------------------------
+    def adopt(
+        self, queries: Sequence[QuerySpec], placement: Dict[int, int]
+    ) -> List[QVertex]:
+        """Initialise coordinator state from an existing placement.
+
+        Models the Figure 7 scenario: queries were allocated by some other
+        (possibly random) policy and the tree must adapt from there.  Each
+        leaf takes the queries placed inside its cluster verbatim; coarse
+        summaries flow upward exactly as in :meth:`collect`, but the
+        assignment reflects the given placement instead of a fresh
+        mapping.  Returns this subtree's (possibly coarse) vertex set.
+        """
+        if self.is_leaf:
+            vertices = []
+            self.assignment = {}
+            for q in queries:
+                host = placement.get(q.query_id)
+                if host in self.cluster.members:
+                    v = qvertex_from_query(q, self.space)
+                    vertices.append(v)
+                    self.assignment[v.vid] = ("p", host)
+                    self.placement[q.query_id] = host
+            self.vertices = {v.vid: v for v in vertices}
+            self.qg = build_query_graph(
+                vertices, self.space, self.ng, self.max_overlap_neighbors
+            )
+        else:
+            vertices = []
+            self.assignment = {}
+            for child in self.children:
+                child_vertices = child.adopt(queries, placement)
+                vertices.extend(child_vertices)
+                for v in child_vertices:
+                    self.assignment[v.vid] = child.name
+            self.vertices = {v.vid: v for v in vertices}
+            self.qg = build_query_graph(
+                vertices, self.space, self.ng, self.max_overlap_neighbors
+            )
+
+        self._invalidate_routing_state()
+        if len(vertices) > self.vmax:
+            coarse = coarsen(
+                self.qg, self.vmax, self.space, origin=self.name, rng=self.rng
+            )
+            return list(coarse.qverts.values())
+        return list(vertices)
+
+    # ------------------------------------------------------------------
+    # phase 2: online insertion (Section 3.6)
+    # ------------------------------------------------------------------
+    def insert(self, v: QVertex) -> int:
+        """Route a new query vertex down to a processor; returns it.
+
+        Routing uses only coarse per-child information (each child's
+        aggregate interest mask and load), exactly the property that makes
+        the scheme fast: scoring a query is O(children + referenced
+        sources), independent of how many queries the system holds.  The
+        estimated WEC delta of placing the vertex at child ``t`` is
+
+            sum_src rate * d(t, src) + sum_proxy rate * d(t, proxy)
+            + sum_{c != t} overlap(v, mask_c) * d(t, c),
+
+        the last term being the sharing penalty for sitting away from the
+        children that already host overlapping queries.
+        """
+        t0 = time.perf_counter()
+        self._ensure_routing_state()
+        w = v.weight
+        total_q = self._total_weight + w
+        total_c = self.ng.total_capability()
+
+        overlaps = {
+            c: self.space.overlap_rate(v.mask, mask)
+            for c, mask in self._child_masks.items()
+        }
+        best = None
+        best_cost = float("inf")
+        fallback = None
+        fallback_violation = float("inf")
+        for t in self.ng.ids():
+            site = self.ng.site(t)
+            cost = 0.0
+            for node, rate in v.source_rates.items():
+                cost += rate * self.oracle(site, node)
+            for node, rate in v.proxy_rates.items():
+                cost += rate * self.oracle(site, node)
+            for c, ov in overlaps.items():
+                if c != t and ov > 0:
+                    cost += ov * self.oracle(site, self.ng.site(c))
+            limit = (1.0 + self.alpha) * self.ng.capability(t) * total_q / total_c
+            if self._loads[t] + w <= limit + 1e-9:
+                if cost < best_cost:
+                    best_cost = cost
+                    best = t
+            violation = self._loads[t] + w - limit
+            if violation < fallback_violation:
+                fallback_violation = violation
+                fallback = t
+        target = best if best is not None else fallback
+
+        self.vertices[v.vid] = v
+        self.assignment[v.vid] = target
+        self._child_masks[target] |= v.mask
+        self._loads[target] += w
+        self._total_weight += w
+        self.cpu_time += time.perf_counter() - t0
+
+        if self.is_leaf:
+            processor = self.ng.site(target)
+            for query_id in v.members:
+                self.placement[query_id] = processor
+            return processor
+        return self._child_by_vid(target).insert(v)
+
+    def _ensure_routing_state(self) -> None:
+        """(Re)build the per-child aggregate masks and loads if stale."""
+        if getattr(self, "_child_masks", None) is not None:
+            return
+        self._child_masks = {t: 0 for t in self.ng.ids()}
+        self._loads = {t: 0.0 for t in self.ng.ids()}
+        self._total_weight = 0.0
+        for vid, v in self.vertices.items():
+            target = self.assignment.get(vid)
+            if target is None or target not in self.ng.vertices:
+                continue
+            self._child_masks[target] |= v.mask
+            self._loads[target] += v.weight
+            self._total_weight += v.weight
+
+    def _invalidate_routing_state(self) -> None:
+        self._child_masks = None
+
+    def _assignment_view(self) -> Mapping:
+        """Assignment restricted to vertices still in the graph."""
+        return {
+            vid: t for vid, t in self.assignment.items() if vid in self.qg.qverts
+        }
+
+    def _maybe_compress(self) -> None:
+        """Bound graph growth from insertions.
+
+        When the graph exceeds ``3 * vmax`` q-vertices, merge pairs that
+        are mapped to the *same* child (so the assignment stays well
+        defined) until the size is back under ``2 * vmax``.
+        """
+        if len(self.qg.qverts) <= 3 * self.vmax:
+            return
+        by_target: Dict[VertexId, List[VertexId]] = {}
+        for vid in self.qg.qverts:
+            by_target.setdefault(self.assignment[vid], []).append(vid)
+        goal = 2 * self.vmax
+        # lumps must stay small enough for the re-balancer to move them:
+        # cap merged weight at a fraction of the smallest child's share
+        total_q = sum(v.weight for v in self.vertices.values())
+        total_c = self.ng.total_capability()
+        min_share = min(
+            self.ng.capability(t) * total_q / total_c for t in self.ng.ids()
+        )
+        weight_cap = 0.25 * min_share if min_share > 0 else float("inf")
+        for target, vids in by_target.items():
+            if len(self.qg.qverts) <= goal:
+                break
+            vids = [v for v in vids if v in self.qg.qverts]
+            # merge in pairwise rounds, smallest weights first: a vertex
+            # merged in one round is not merged again until the next, so
+            # coarse vertices stay balanced and movable
+            while len(vids) >= 2 and len(self.qg.qverts) > goal:
+                vids.sort(key=lambda x: self.vertices[x].weight)
+                survivors: List[VertexId] = []
+                i = 0
+                merged_any = False
+                while i + 1 < len(vids) and len(self.qg.qverts) > goal:
+                    a, b = vids[i], vids[i + 1]
+                    if (self.vertices[a].weight + self.vertices[b].weight
+                            > weight_cap):
+                        survivors.extend(vids[i:])
+                        i = len(vids)
+                        break
+                    merged = merge_qvertices(
+                        self.vertices[a], self.vertices[b], origin=self.name
+                    )
+                    self._replace_pair(a, b, merged, target)
+                    survivors.append(merged.vid)
+                    merged_any = True
+                    i += 2
+                survivors.extend(vids[i:])
+                if not merged_any:
+                    break
+                vids = survivors
+
+    def _replace_pair(
+        self, a: VertexId, b: VertexId, merged: QVertex, target: VertexId
+    ) -> None:
+        neighbor_edges: Dict[VertexId, float] = {}
+        for old in (a, b):
+            for nbr, w in self.qg.neighbors(old).items():
+                if nbr in (a, b):
+                    continue
+                neighbor_edges[nbr] = neighbor_edges.get(nbr, 0.0) + w
+        self.qg.remove_vertex(a)
+        self.qg.remove_vertex(b)
+        del self.vertices[a], self.vertices[b]
+        del self.assignment[a], self.assignment[b]
+        self.qg.add_qvertex(merged)
+        self.vertices[merged.vid] = merged
+        self.assignment[merged.vid] = target
+        for nbr, w in neighbor_edges.items():
+            if nbr in self.qg.qverts:
+                w = self.space.overlap_rate(merged.mask, self.qg.qverts[nbr].mask)
+            self.qg.set_edge(merged.vid, nbr, w)
+
+    # ------------------------------------------------------------------
+    # phase 3: adaptive redistribution (Section 3.7)
+    # ------------------------------------------------------------------
+    def adapt(self, report: Optional[AdaptationReport] = None) -> AdaptationReport:
+        """Run one adaptation round over the whole subtree.
+
+        Call on the root coordinator; migration counts compare the leaf
+        placements before and after the round (queries physically move
+        only once all decisions are made).
+        """
+        report = report or AdaptationReport()
+        before = dict(self.placement)
+        self._adapt_level(self.vertices.values(), report)
+        for query_id, processor in self.placement.items():
+            old = before.get(query_id)
+            if old is not None and old != processor:
+                report.migrated_queries += 1
+        return report
+
+    def _adapt_level(
+        self, vertices, report: AdaptationReport
+    ) -> None:
+        t0 = time.perf_counter()
+        vertices = list(vertices)
+        if self.is_leaf:
+            # adaptation at the leaf works on atomic queries: load
+            # re-balancing needs fine-grained movable units, and atomic
+            # vertex ids are stable across rounds (migration accounting)
+            flat: List[QVertex] = []
+            for v in vertices:
+                flat.extend(_flatten(v))
+            vertices = flat
+        old_assignment = self._assignment_view()
+        self.vertices = {v.vid: v for v in vertices}
+        self.qg = build_query_graph(
+            vertices, self.space, self.ng, self.max_overlap_neighbors
+        )
+        # carry over assignments for vertices we already knew; greedily
+        # place newcomers
+        self.assignment = {}
+        pinned = self.qg.pinned_mapping(self.ng)
+        self.assignment.update(pinned)
+        loads = {vid: 0.0 for vid in self.ng.ids()}
+        newcomers: List[QVertex] = []
+        for v in vertices:
+            old = old_assignment.get(v.vid)
+            if old is None and self.is_leaf and v.members:
+                # continuity: an atomic query already running on one of
+                # this leaf's processors stays there unless rebalanced
+                host = self.placement.get(v.members[0])
+                if host is not None and ("p", host) in self.ng.vertices:
+                    old = ("p", host)
+            if old is not None and old in self.ng.vertices:
+                self.assignment[v.vid] = old
+                loads[old] += v.weight
+            else:
+                newcomers.append(v)
+        if newcomers:
+            limits = self.qg.capacity_limits(self.ng, self.alpha)
+            positions = {
+                vid: self.qg.position(vid, self.assignment, self.ng)
+                for vid in list(self.assignment) + list(self.qg.nverts)
+                if vid in self.qg.qverts or vid in self.qg.nverts
+            }
+            for v in sorted(newcomers, key=lambda x: -x.weight):
+                target, _ = choose_target(
+                    self.qg, self.ng, v, positions, loads, limits
+                )
+                self.assignment[v.vid] = target
+                loads[target] += v.weight
+                positions[v.vid] = self.ng.site(target)
+
+        # phase A: diffusion-guided load re-balancing (Algorithm 3)
+        original = dict(self.assignment)
+        stats = rebalance(
+            self.qg, self.ng, self.assignment, alpha=self.alpha, rng=self.rng
+        )
+        # phase B: distribution refinement
+        refinement = refine_distribution(
+            self.qg, self.ng, self.assignment, original,
+            alpha=self.alpha, rng=self.rng,
+        )
+        report.absorb(stats, refinement)
+        report.migrated_state += stats.moved_state
+        if not self.is_leaf:
+            # bound vertex-set growth from online insertions (atomic
+            # inserted vertices pile up at every level otherwise)
+            self._maybe_compress()
+        self._invalidate_routing_state()
+        self.cpu_time += time.perf_counter() - t0
+
+        if self.is_leaf:
+            self._write_placement()
+        else:
+            for child in self.children:
+                assigned = [
+                    self.vertices[vid]
+                    for vid, target in self.assignment.items()
+                    if target == child.name and vid in self.vertices
+                ]
+                expanded: List[QVertex] = []
+                for v in assigned:
+                    expanded.extend(uncoarsen_vertex(v))
+                child._adapt_level(expanded, report)
+
+    # ------------------------------------------------------------------
+    # statistics refresh (Section 3.8)
+    # ------------------------------------------------------------------
+    def refresh_statistics(self, query_loads: Dict[int, float]) -> None:
+        """Propagate fresh per-query loads into every vertex of the tree.
+
+        Also re-derives per-source request rates from the (possibly
+        perturbed) substream space, which updates q-n edge weights on the
+        next graph rebuild.
+        """
+        memo: Dict[VertexId, None] = {}
+        for coord in self.all_coordinators():
+            for v in coord.vertices.values():
+                _refresh_vertex(v, query_loads, self.space, memo)
+
+
+def _refresh_vertex(
+    v: QVertex,
+    query_loads: Dict[int, float],
+    space: SubstreamSpace,
+    memo: Dict[VertexId, None],
+) -> None:
+    if v.vid in memo:
+        return
+    memo[v.vid] = None
+    if v.children:
+        for child in v.children:
+            _refresh_vertex(child, query_loads, space, memo)
+        v.weight = sum(c.weight for c in v.children)
+        v.source_rates = {}
+        for c in v.children:
+            for node, rate in c.source_rates.items():
+                v.source_rates[node] = v.source_rates.get(node, 0.0) + rate
+    else:
+        if v.members and v.members[0] in query_loads:
+            v.weight = query_loads[v.members[0]]
+        v.source_rates = space.rates_by_source(v.mask)

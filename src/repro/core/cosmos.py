@@ -1,0 +1,133 @@
+"""The COSMOS middleware facade.
+
+Ties together the coordinator tree, the query-distribution algorithms and
+the substream statistics into the interface the examples and experiments
+use:
+
+>>> cosmos = Cosmos(oracle, processors, workload.space, k=4)
+>>> cosmos.distribute(workload.queries)      # initial distribution
+>>> cosmos.insert(new_query)                 # online insertion
+>>> cosmos.adapt()                           # one adaptation round
+>>> cosmos.placement                         # query_id -> processor
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..query.interest import SubstreamSpace
+from ..query.workload import QuerySpec, Workload
+from ..topology.latency import LatencyOracle
+from .coordinator import AdaptationReport, Coordinator
+from .graphs import DEFAULT_ALPHA, qvertex_from_query
+from .hierarchy import CoordinatorTree, build_coordinator_tree
+
+__all__ = ["Cosmos", "CosmosConfig"]
+
+
+@dataclass(frozen=True)
+class CosmosConfig:
+    """Tuning knobs of the middleware."""
+
+    #: cluster size parameter of the coordinator tree (Section 3.3)
+    k: int = 4
+    #: maximum query-graph size per coordinator before coarsening
+    vmax: int = 150
+    #: load-imbalance tolerance (Eqn 3.1)
+    alpha: float = DEFAULT_ALPHA
+    #: cap on overlap edges kept per q-vertex
+    max_overlap_neighbors: int = 20
+    seed: int = 0
+
+
+class Cosmos:
+    """COoperated and Self-tuning Management Of Streaming data."""
+
+    def __init__(
+        self,
+        oracle: LatencyOracle,
+        processors: Sequence[int],
+        space: SubstreamSpace,
+        config: CosmosConfig = CosmosConfig(),
+        capabilities: Optional[Dict[int, float]] = None,
+    ):
+        self.oracle = oracle
+        self.processors = list(processors)
+        self.space = space
+        self.config = config
+        self.capabilities = capabilities or {}
+        self.tree: CoordinatorTree = build_coordinator_tree(
+            self.processors, oracle, k=config.k
+        )
+        self.root = Coordinator(
+            self.tree.root,
+            oracle,
+            space,
+            capabilities=self.capabilities,
+            vmax=config.vmax,
+            alpha=config.alpha,
+            seed=config.seed,
+            max_overlap_neighbors=config.max_overlap_neighbors,
+        )
+        self._known_queries: Dict[int, QuerySpec] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def placement(self) -> Dict[int, int]:
+        """Current query_id -> processor assignment."""
+        return self.root.placement
+
+    def distribute(self, queries: Sequence[QuerySpec]) -> Dict[int, int]:
+        """Initial distribution of a query population (Sections 3.4-3.5)."""
+        for q in queries:
+            self._known_queries[q.query_id] = q
+        coarse = self.root.collect(queries)
+        self.root.distribute(coarse)
+        return self.placement
+
+    def adopt(self, queries: Sequence[QuerySpec], placement: Dict[int, int]) -> None:
+        """Initialise the tree from an externally-chosen placement.
+
+        Used when COSMOS takes over a system whose queries were allocated
+        by another policy (or with inaccurate statistics, as in Figure 7):
+        subsequent :meth:`adapt` rounds then improve from there.
+        """
+        for q in queries:
+            self._known_queries[q.query_id] = q
+        self.root.adopt(queries, placement)
+
+    def insert(self, query: QuerySpec) -> int:
+        """Online insertion of one new query (Section 3.6)."""
+        self._known_queries[query.query_id] = query
+        v = qvertex_from_query(query, self.space)
+        return self.root.insert(v)
+
+    def adapt(self) -> AdaptationReport:
+        """One adaptation round (Section 3.7)."""
+        return self.root.adapt()
+
+    def refresh_statistics(self, workload: Workload) -> None:
+        """Statistics collection (Section 3.8): re-estimate query loads and
+        per-source rates after stream-rate changes."""
+        workload.refresh_loads()
+        loads = {q.query_id: q.load for q in workload.queries}
+        self.root.refresh_statistics(loads)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def response_time(self) -> float:
+        return self.root.response_time()
+
+    def total_time(self) -> float:
+        return self.root.total_time()
+
+    def reset_timers(self) -> None:
+        self.root.reset_timers()
+
+    def tree_height(self) -> int:
+        return self.tree.height()
+
+    def coordinator_count(self) -> int:
+        return len(self.root.all_coordinators())

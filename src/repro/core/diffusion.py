@@ -1,0 +1,70 @@
+"""Hu & Blake optimal load diffusion.
+
+Given per-node loads and targets, computes the pairwise flow ``m_ij`` that
+re-balances the load while minimising the Euclidean norm of the transferred
+load -- which is what keeps the number of query migrations small
+(Section 3.7).  The classic result: solve ``L x = b`` where ``L`` is the
+Laplacian of the diffusion graph and ``b`` the load surplus vector; the
+flow on edge ``(i, j)`` is then ``x_i - x_j``.
+
+The coordinator uses the complete graph over its children as the diffusion
+graph (any child can hand queries to any other -- they are application-
+level peers, not physical neighbours).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["diffusion_solution"]
+
+
+def diffusion_solution(
+    loads: Dict[Hashable, float],
+    targets: Dict[Hashable, float],
+) -> Dict[Tuple[Hashable, Hashable], float]:
+    """Minimal-norm load flows over the complete graph.
+
+    Parameters
+    ----------
+    loads:
+        Current load per node.
+    targets:
+        Desired load per node.  ``sum(targets)`` is rescaled to
+        ``sum(loads)`` so the system is consistent.
+
+    Returns
+    -------
+    dict
+        ``{(i, j): amount}`` with ``amount > 0`` meaning "move ``amount``
+        of load from i to j".  Only positive flows are returned.
+    """
+    nodes: List[Hashable] = list(loads)
+    n = len(nodes)
+    if n <= 1:
+        return {}
+    load_vec = np.array([loads[u] for u in nodes], dtype=float)
+    target_vec = np.array([targets[u] for u in nodes], dtype=float)
+    total_t = target_vec.sum()
+    if total_t <= 0:
+        raise ValueError("targets must have positive total")
+    target_vec = target_vec * (load_vec.sum() / total_t)
+    b = load_vec - target_vec  # surplus (positive = overloaded)
+
+    # Laplacian of K_n: n*I - J.  Solve L x = b in the least-squares sense
+    # (L is singular with nullspace = constants; b sums to 0 so a solution
+    # exists and lstsq picks the minimum-norm one).
+    laplacian = n * np.eye(n) - np.ones((n, n))
+    x, *_ = np.linalg.lstsq(laplacian, b, rcond=None)
+
+    flows: Dict[Tuple[Hashable, Hashable], float] = {}
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            f = x[i] - x[j]
+            if f > 1e-12:
+                flows[(nodes[i], nodes[j])] = f
+    return flows

@@ -1,0 +1,169 @@
+"""Vectorised attach-cost computation for the mapping algorithms.
+
+The inner loop of Algorithm 2 (and of online insertion and Algorithm 3)
+evaluates, for a q-vertex ``v`` and every candidate target ``t``,
+
+    cost(v, t) = sum over neighbours u of  w(v,u) * d(site(t), pos(u)).
+
+:class:`CostWorkspace` assigns every vertex an integer index, keeps all
+positions in one numpy array, precomputes one latency row per target site
+and per-vertex neighbour index/weight arrays -- so the evaluation is one
+fancy-indexing gather plus a matrix-vector product over all targets at
+once, with no per-neighbour Python iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .graphs import Mapping, NetworkGraph, QueryGraph, VertexId
+
+__all__ = ["CostWorkspace"]
+
+
+class CostWorkspace:
+    """Fast attach-cost evaluation for one (query graph, network graph).
+
+    Positions are tracked in :attr:`pos` (topology node id per vertex
+    index, ``-1`` = unplaced); call :meth:`set_position` whenever a vertex
+    moves so neighbour gathers stay correct.
+    """
+
+    def __init__(self, qg: QueryGraph, ng: NetworkGraph):
+        self.qg = qg
+        self.ng = ng
+        self.targets: List[VertexId] = list(ng.ids())
+        self.target_index: Dict[VertexId, int] = {
+            t: i for i, t in enumerate(self.targets)
+        }
+        self.target_sites = np.asarray(
+            [ng.site(t) for t in self.targets], dtype=np.int64
+        )
+
+        # integer indexing over all vertices (q first, then n)
+        self.vids: List[VertexId] = list(qg.qverts) + list(qg.nverts)
+        self.vindex: Dict[VertexId, int] = {v: i for i, v in enumerate(self.vids)}
+        self.nq = len(qg.qverts)
+
+        oracle = getattr(ng, "oracle", None)
+        if oracle is not None:
+            n = oracle.topology.n
+            self.rows = np.empty((len(self.targets), n))
+            for i, t in enumerate(self.targets):
+                self.rows[i, :] = oracle.row(ng.site(t))
+        else:
+            # fallback: dense rows over the node universe actually used
+            nodes = set()
+            for nv in qg.nverts.values():
+                nodes.add(nv.node)
+            for t in self.targets:
+                nodes.add(ng.site(t))
+            self._node_list = sorted(nodes)
+            self._node_pos = {node: i for i, node in enumerate(self._node_list)}
+            self.rows = np.empty((len(self.targets), len(self._node_list)))
+            for i, t in enumerate(self.targets):
+                site = ng.site(t)
+                for j, node in enumerate(self._node_list):
+                    self.rows[i, j] = ng.site_distance(site, node)
+        self._remap = oracle is None
+
+        # static neighbour structure
+        self._nbr_idx: List[Optional[np.ndarray]] = [None] * len(self.vids)
+        self._nbr_w: List[Optional[np.ndarray]] = [None] * len(self.vids)
+
+        #: current position (topology node id or -1) per vertex index
+        self.pos = np.full(len(self.vids), -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _node_id(self, node: int) -> int:
+        """Column index of a topology node in :attr:`rows`."""
+        if self._remap:
+            if node not in self._node_pos:
+                # extend the distance table for a previously unseen node
+                self._node_pos[node] = len(self._node_list)
+                self._node_list.append(node)
+                col = np.asarray(
+                    [
+                        self.ng.site_distance(self.ng.site(t), node)
+                        for t in self.targets
+                    ]
+                )[:, None]
+                self.rows = np.concatenate([self.rows, col], axis=1)
+            return self._node_pos[node]
+        return node
+
+    def init_positions(self, mapping: Mapping) -> None:
+        """Seed positions from a (possibly partial) mapping."""
+        self.pos.fill(-1)
+        for vid, i in self.vindex.items():
+            if vid in self.qg.qverts:
+                target = mapping.get(vid)
+                if target is not None:
+                    self.pos[i] = self._node_id(self.ng.site(target))
+            else:
+                nv = self.qg.nverts[vid]
+                node = self.ng.site(nv.clu) if nv.clu is not None else nv.node
+                self.pos[i] = self._node_id(node)
+
+    def set_position(self, vid: VertexId, target: VertexId) -> None:
+        self.pos[self.vindex[vid]] = self._node_id(self.ng.site(target))
+
+    def clear_position(self, vid: VertexId) -> None:
+        self.pos[self.vindex[vid]] = -1
+
+    def add_vertex(self, vid: VertexId) -> None:
+        """Register a vertex added to the graph after construction."""
+        if vid in self.vindex:
+            return
+        self.vindex[vid] = len(self.vids)
+        self.vids.append(vid)
+        self._nbr_idx.append(None)
+        self._nbr_w.append(None)
+        self.pos = np.append(self.pos, -1)
+        if vid in self.qg.nverts:
+            nv = self.qg.nverts[vid]
+            node = self.ng.site(nv.clu) if nv.clu is not None else nv.node
+            self.pos[-1] = self._node_id(node)
+
+    def invalidate_vertex(self, vid: VertexId) -> None:
+        """Drop cached neighbour arrays (call after edges change)."""
+        i = self.vindex.get(vid)
+        if i is not None:
+            self._nbr_idx[i] = None
+            self._nbr_w[i] = None
+
+    def _neighbour_arrays(self, i: int):
+        if self._nbr_idx[i] is None:
+            nbrs = self.qg.neighbors(self.vids[i])
+            self._nbr_idx[i] = np.asarray(
+                [self.vindex[n] for n in nbrs], dtype=np.int64
+            )
+            self._nbr_w[i] = np.asarray(list(nbrs.values()), dtype=float)
+        return self._nbr_idx[i], self._nbr_w[i]
+
+    # ------------------------------------------------------------------
+    def attach_costs(self, vid: VertexId) -> np.ndarray:
+        """Vector of attach costs of ``vid`` for every target.
+
+        Neighbours without a position (not yet placed) contribute zero.
+        """
+        return self.attach_costs_idx(self.vindex[vid])
+
+    def attach_costs_idx(self, i: int) -> np.ndarray:
+        idx, w = self._neighbour_arrays(i)
+        if idx.size == 0:
+            return np.zeros(len(self.targets))
+        p = self.pos[idx]
+        mask = p >= 0
+        if not mask.any():
+            return np.zeros(len(self.targets))
+        return self.rows[:, p[mask]] @ w[mask]
+
+    def attach_cost(self, vid: VertexId, target: VertexId) -> float:
+        return float(self.attach_costs(vid)[self.target_index[target]])
+
+    def neighbour_indices(self, vid: VertexId) -> np.ndarray:
+        idx, _ = self._neighbour_arrays(self.vindex[vid])
+        return idx

@@ -1,0 +1,416 @@
+"""The graph-mapping model of Section 3.1.
+
+Two graphs:
+
+* :class:`NetworkGraph` -- one vertex per mapping target (a processor, or
+  a child coordinator's whole cluster in the hierarchical scheme), weighted
+  by computational capability; the "edge weights" are latencies between the
+  vertices' representative sites, answered by a distance callable so no
+  quadratic structure is materialised.
+* :class:`QueryGraph` -- q-vertices (queries, weighted by CPU load) and
+  n-vertices (sources and proxies, weight 0).  Edges carry stream rates:
+  q-n edges are source-request or result-delivery rates; q-q edges are the
+  *overlap* rates that make the pub/sub sharing visible to the optimizer
+  (the feature that lets Scheme 3 beat Scheme 2 in Table 2).
+
+A *mapping* assigns every query-graph vertex to a network-graph vertex;
+n-vertices are pinned (network constraint).  Quality is the **Weighted
+Edge Cut** (Eqn 3.2) subject to the load-balance constraint (Eqn 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..query.interest import SubstreamSpace, iter_bits
+from ..query.workload import QuerySpec
+
+__all__ = [
+    "NetVertex",
+    "NetworkGraph",
+    "QVertex",
+    "NVertex",
+    "QueryGraph",
+    "Mapping",
+    "qvertex_from_query",
+    "build_query_graph",
+    "DEFAULT_ALPHA",
+]
+
+#: The paper's load-imbalance tolerance (Section 3.1.1).
+DEFAULT_ALPHA = 0.1
+
+VertexId = Hashable
+
+
+@dataclass(frozen=True)
+class NetVertex:
+    """A mapping target: a processor or a child cluster.
+
+    ``site`` is the representative topology node (the processor itself, or
+    the cluster's median coordinator) used for distance computations;
+    ``covers`` is the set of processor/topology nodes the vertex stands
+    for, used to pin n-vertices.
+    """
+
+    vid: VertexId
+    site: int
+    capability: float
+    covers: FrozenSet[int]
+
+
+class NetworkGraph:
+    """The set of mapping targets plus a distance metric between sites."""
+
+    def __init__(
+        self,
+        vertices: Iterable[NetVertex],
+        distance: Callable[[int, int], float],
+        oracle=None,
+    ):
+        self.vertices: Dict[VertexId, NetVertex] = {v.vid: v for v in vertices}
+        if not self.vertices:
+            raise ValueError("network graph needs at least one vertex")
+        self._distance = distance
+        #: optional LatencyOracle enabling vectorised cost rows
+        self.oracle = oracle
+        self._covering: Dict[int, VertexId] = {}
+        for v in self.vertices.values():
+            for node in v.covers:
+                self._covering[node] = v.vid
+
+    def site(self, vid: VertexId) -> int:
+        return self.vertices[vid].site
+
+    def capability(self, vid: VertexId) -> float:
+        return self.vertices[vid].capability
+
+    def total_capability(self) -> float:
+        return sum(v.capability for v in self.vertices.values())
+
+    def covering_vertex(self, node: int) -> Optional[VertexId]:
+        """The vertex whose cluster covers topology node ``node``, if any."""
+        return self._covering.get(node)
+
+    def distance(self, vid_a: VertexId, vid_b: VertexId) -> float:
+        if vid_a == vid_b:
+            return 0.0
+        return self._distance(self.site(vid_a), self.site(vid_b))
+
+    def site_distance(self, site_a: int, site_b: int) -> float:
+        if site_a == site_b:
+            return 0.0
+        return self._distance(site_a, site_b)
+
+    def ids(self) -> List[VertexId]:
+        return list(self.vertices)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+@dataclass
+class QVertex:
+    """A query vertex: one query, or a coarsened group of queries.
+
+    ``source_rates`` / ``proxy_rates`` aggregate the member queries'
+    requested per-source rates and per-proxy result rates; together with
+    the interest ``mask`` they are sufficient to rebuild every edge of the
+    query graph at any coarsening level.
+    """
+
+    vid: VertexId
+    weight: float
+    mask: int
+    source_rates: Dict[int, float]
+    proxy_rates: Dict[int, float]
+    state_size: float = 1.0
+    #: atomic query ids represented by this (possibly coarse) vertex
+    members: Tuple[int, ...] = ()
+    #: finer-grained vertices this vertex was coarsened from
+    children: Tuple["QVertex", ...] = ()
+    #: name of the coordinator that created this (coarse) vertex
+    origin: Optional[Hashable] = None
+
+    def load_density(self) -> float:
+        """Weight per unit of migratable state (Algorithm 3's tie-breaker)."""
+        return self.weight / self.state_size if self.state_size > 0 else float("inf")
+
+    def copy(self) -> "QVertex":
+        return replace(
+            self,
+            source_rates=dict(self.source_rates),
+            proxy_rates=dict(self.proxy_rates),
+        )
+
+
+@dataclass(frozen=True)
+class NVertex:
+    """An n-vertex: a source or proxy pinned to a topology node.
+
+    ``clu`` is the network-graph vertex covering the node, or ``None`` when
+    the node lies outside every child cluster of the current coordinator
+    (the paper's ``unknown``); such vertices keep their own site as their
+    position and are not mapping targets.
+    """
+
+    vid: VertexId
+    node: int
+    clu: Optional[VertexId] = None
+
+
+Mapping = Dict[VertexId, VertexId]
+
+
+class QueryGraph:
+    """q-vertices + n-vertices + weighted edges (adjacency maps)."""
+
+    def __init__(self):
+        self.qverts: Dict[VertexId, QVertex] = {}
+        self.nverts: Dict[VertexId, NVertex] = {}
+        self.adj: Dict[VertexId, Dict[VertexId, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_qvertex(self, v: QVertex) -> None:
+        if v.vid in self.qverts or v.vid in self.nverts:
+            raise ValueError(f"duplicate vertex id {v.vid!r}")
+        self.qverts[v.vid] = v
+        self.adj.setdefault(v.vid, {})
+
+    def add_nvertex(self, v: NVertex) -> None:
+        if v.vid in self.qverts or v.vid in self.nverts:
+            raise ValueError(f"duplicate vertex id {v.vid!r}")
+        self.nverts[v.vid] = v
+        self.adj.setdefault(v.vid, {})
+
+    def add_edge(self, a: VertexId, b: VertexId, weight: float) -> None:
+        if a == b:
+            return
+        if weight <= 0:
+            return
+        self.adj[a][b] = self.adj[a].get(b, 0.0) + weight
+        self.adj[b][a] = self.adj[b].get(a, 0.0) + weight
+
+    def set_edge(self, a: VertexId, b: VertexId, weight: float) -> None:
+        if a == b:
+            return
+        if weight <= 0:
+            self.adj[a].pop(b, None)
+            self.adj[b].pop(a, None)
+            return
+        self.adj[a][b] = weight
+        self.adj[b][a] = weight
+
+    def remove_vertex(self, vid: VertexId) -> None:
+        for nbr in list(self.adj.get(vid, {})):
+            del self.adj[nbr][vid]
+        self.adj.pop(vid, None)
+        self.qverts.pop(vid, None)
+        self.nverts.pop(vid, None)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def is_q(self, vid: VertexId) -> bool:
+        return vid in self.qverts
+
+    def is_n(self, vid: VertexId) -> bool:
+        return vid in self.nverts
+
+    def vertex_weight(self, vid: VertexId) -> float:
+        if vid in self.qverts:
+            return self.qverts[vid].weight
+        return 0.0
+
+    def total_qweight(self) -> float:
+        return sum(v.weight for v in self.qverts.values())
+
+    def neighbors(self, vid: VertexId) -> Dict[VertexId, float]:
+        return self.adj.get(vid, {})
+
+    def edges(self) -> List[Tuple[VertexId, VertexId, float]]:
+        out = []
+        seen = set()
+        for a, nbrs in self.adj.items():
+            for b, w in nbrs.items():
+                key = (a, b) if str(a) <= str(b) else (b, a)
+                if key not in seen:
+                    seen.add(key)
+                    out.append((key[0], key[1], w))
+        return out
+
+    def vertex_count(self) -> int:
+        return len(self.qverts) + len(self.nverts)
+
+    # ------------------------------------------------------------------
+    # mapping quality
+    # ------------------------------------------------------------------
+    def position(self, vid: VertexId, mapping: Mapping, ng: NetworkGraph) -> int:
+        """Topology site a vertex occupies under ``mapping``.
+
+        q-vertices sit at the site of their mapped network vertex; pinned
+        n-vertices at the site of their covering cluster; external
+        n-vertices at their own node.
+        """
+        if vid in self.qverts:
+            return ng.site(mapping[vid])
+        nv = self.nverts[vid]
+        if nv.clu is not None:
+            return ng.site(nv.clu)
+        return nv.node
+
+    def wec(self, mapping: Mapping, ng: NetworkGraph) -> float:
+        """Weighted Edge Cut of a mapping (Eqn 3.2, undirected edges once)."""
+        total = 0.0
+        pos = {
+            vid: self.position(vid, mapping, ng)
+            for vid in itertools.chain(self.qverts, self.nverts)
+        }
+        done = set()
+        for a, nbrs in self.adj.items():
+            for b, w in nbrs.items():
+                key = (a, b) if id(a) <= id(b) else (b, a)
+                # use an order-free marker based on the pair itself
+                marker = frozenset((a, b))
+                if marker in done:
+                    continue
+                done.add(marker)
+                total += w * ng.site_distance(pos[a], pos[b])
+        return total
+
+    def loads(self, mapping: Mapping, ng: NetworkGraph) -> Dict[VertexId, float]:
+        """Per-network-vertex query load under a mapping."""
+        loads = {vid: 0.0 for vid in ng.ids()}
+        for qid, q in self.qverts.items():
+            loads[mapping[qid]] += q.weight
+        return loads
+
+    def capacity_limits(
+        self, ng: NetworkGraph, alpha: float = DEFAULT_ALPHA
+    ) -> Dict[VertexId, float]:
+        """Eqn 3.1 load ceilings: ``(1 + alpha) * c_j * Wq / Wn``."""
+        total_q = self.total_qweight()
+        total_c = ng.total_capability()
+        return {
+            vid: (1.0 + alpha) * ng.capability(vid) * total_q / total_c
+            for vid in ng.ids()
+        }
+
+    def satisfies_load_constraint(
+        self, mapping: Mapping, ng: NetworkGraph, alpha: float = DEFAULT_ALPHA
+    ) -> bool:
+        limits = self.capacity_limits(ng, alpha)
+        loads = self.loads(mapping, ng)
+        return all(loads[vid] <= limits[vid] + 1e-9 for vid in ng.ids())
+
+    def pinned_mapping(self, ng: NetworkGraph) -> Mapping:
+        """The network-constraint part of a mapping (n-vertices only)."""
+        out: Mapping = {}
+        for vid, nv in self.nverts.items():
+            if nv.clu is not None:
+                out[vid] = nv.clu
+        return out
+
+
+def qvertex_from_query(q: QuerySpec, space: SubstreamSpace) -> QVertex:
+    """Atomic q-vertex for one query."""
+    return QVertex(
+        vid=("q", q.query_id),
+        weight=q.load,
+        mask=q.mask,
+        source_rates=space.rates_by_source(q.mask),
+        proxy_rates={q.proxy: q.result_rate},
+        state_size=q.state_size,
+        members=(q.query_id,),
+    )
+
+
+def build_query_graph(
+    qvertices: Iterable[QVertex],
+    space: SubstreamSpace,
+    ng: Optional[NetworkGraph] = None,
+    max_overlap_neighbors: int = 20,
+) -> QueryGraph:
+    """Assemble a query graph from q-vertices.
+
+    * an n-vertex is created for every source / proxy node referenced by
+      any q-vertex; its ``clu`` is resolved against ``ng`` when given;
+    * q-n edges get the aggregated request / result rates;
+    * q-q overlap edges get ``rate(mask_a AND mask_b)``; to keep the graph
+      sparse each q-vertex keeps at most ``max_overlap_neighbors`` heaviest
+      overlap edges (candidates found via a substream inverted index, so
+      disjoint queries never pay a comparison).
+    """
+    g = QueryGraph()
+    qlist = list(qvertices)
+    for qv in qlist:
+        g.add_qvertex(qv)
+
+    # n-vertices
+    nodes = set()
+    for qv in qlist:
+        nodes.update(qv.source_rates)
+        nodes.update(qv.proxy_rates)
+    for node in sorted(nodes):
+        clu = ng.covering_vertex(node) if ng is not None else None
+        g.add_nvertex(NVertex(vid=("n", node), node=node, clu=clu))
+
+    # q-n edges
+    for qv in qlist:
+        for node, rate in qv.source_rates.items():
+            g.add_edge(qv.vid, ("n", node), rate)
+        for node, rate in qv.proxy_rates.items():
+            g.add_edge(qv.vid, ("n", node), rate)
+
+    _add_overlap_edges(g, qlist, space, max_overlap_neighbors)
+    return g
+
+
+def _add_overlap_edges(
+    g: QueryGraph,
+    qlist: List[QVertex],
+    space: SubstreamSpace,
+    max_neighbors: int,
+) -> None:
+    """Sparse q-q overlap edges, computed as one sparse matrix product.
+
+    With ``A`` the query x substream incidence matrix, the full pairwise
+    overlap-rate matrix is ``A diag(rates) A^T``; each q-vertex then keeps
+    its ``max_neighbors`` heaviest overlap edges.
+    """
+    if len(qlist) < 2:
+        return
+    rows: List[int] = []
+    cols: List[int] = []
+    for i, qv in enumerate(qlist):
+        for bit in iter_bits(qv.mask):
+            rows.append(i)
+            cols.append(bit)
+    n_sub = len(space)
+    incidence = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(len(qlist), n_sub)
+    )
+    weighted = incidence.multiply(space.rates[np.newaxis, :]).tocsr()
+    overlap = (weighted @ incidence.T).tocsr()
+    overlap.setdiag(0.0)
+    overlap.eliminate_zeros()
+
+    for i in range(len(qlist)):
+        start, end = overlap.indptr[i], overlap.indptr[i + 1]
+        js = overlap.indices[start:end]
+        ws = overlap.data[start:end]
+        if len(js) > max_neighbors:
+            keep = np.argpartition(-ws, max_neighbors - 1)[:max_neighbors]
+            js, ws = js[keep], ws[keep]
+        a = qlist[i].vid
+        for j, w in zip(js, ws):
+            b = qlist[int(j)].vid
+            if b not in g.adj[a] and w > 0:
+                g.set_edge(a, b, float(w))

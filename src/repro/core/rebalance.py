@@ -1,0 +1,211 @@
+"""Adaptive query redistribution (Section 3.7, Algorithm 3).
+
+Two phases per coordinator per adaptation round:
+
+1. **Load re-balancing** -- a Hu & Blake diffusion solution prescribes how
+   much load to shift between each pair of children; Algorithm 3 realises
+   the flows by moving concrete q-vertices, preferring (a) vertices whose
+   move *benefit* (WEC reduction) is within ``x%`` of the best, (b) among
+   those, *dirty* vertices (already picked this round -- moving them again
+   costs no extra migration since physical migration happens only after
+   all decisions), and (c) among those, the highest *load density*
+   (weight / state size), which moves the most load per byte of operator
+   state.
+2. **Distribution refinement** -- revisit q-vertices in random order and
+   (1) move a vertex back to its original location when that keeps load
+   balance and does not hurt the WEC, or (2) move it anywhere that lowers
+   the WEC without breaking balance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from .diffusion import diffusion_solution
+from .graphs import DEFAULT_ALPHA, Mapping, NetworkGraph, QueryGraph, VertexId
+from .mapping import _attach_cost, _positions
+
+__all__ = ["RebalanceStats", "rebalance", "refine_distribution"]
+
+#: Algorithm 3's benefit window (the paper sets x = 10).
+DEFAULT_BENEFIT_WINDOW = 0.10
+
+
+@dataclass
+class RebalanceStats:
+    """Observability for one coordinator-level rebalance."""
+
+    moved_vertices: int = 0
+    moved_weight: float = 0.0
+    moved_state: float = 0.0
+    refinement_moves: int = 0
+    flows_requested: int = 0
+    flows_satisfied: int = 0
+    dirty: Set[VertexId] = field(default_factory=set)
+
+
+def _benefit(
+    qg: QueryGraph,
+    vid: VertexId,
+    source: VertexId,
+    dest: VertexId,
+    pos: Dict[VertexId, int],
+    ng: NetworkGraph,
+) -> float:
+    """WEC reduction of remapping ``vid`` from ``source`` to ``dest``."""
+    return _attach_cost(qg, vid, source, pos, ng) - _attach_cost(
+        qg, vid, dest, pos, ng
+    )
+
+
+def rebalance(
+    qg: QueryGraph,
+    ng: NetworkGraph,
+    assignment: Mapping,
+    alpha: float = DEFAULT_ALPHA,
+    benefit_window: float = DEFAULT_BENEFIT_WINDOW,
+    rng: Optional[random.Random] = None,
+    stats: Optional[RebalanceStats] = None,
+) -> RebalanceStats:
+    """Algorithm 3: realise the diffusion flows with vertex moves.
+
+    ``assignment`` is modified in place.  Returns move statistics.
+    """
+    rng = rng or random.Random(0)
+    stats = stats or RebalanceStats()
+
+    loads = qg.loads(assignment, ng)
+    total_c = ng.total_capability()
+    total_q = qg.total_qweight()
+    if total_q <= 0:
+        return stats
+    targets = {
+        vid: ng.capability(vid) * total_q / total_c for vid in ng.ids()
+    }
+    flows = diffusion_solution(loads, targets)
+    # ignore noise-level flows (< 0.1% of the average target load)
+    floor = 1e-3 * (total_q / max(1, len(ng)))
+    flows = {k: v for k, v in flows.items() if v > floor}
+    stats.flows_requested = len(flows)
+
+    pos = _positions(qg, assignment, ng)
+    by_source: Dict[VertexId, List[VertexId]] = {}
+    for vid in qg.qverts:
+        by_source.setdefault(assignment[vid], []).append(vid)
+
+    pairs = list(flows)
+    rng.shuffle(pairs)
+    remaining = dict(flows)
+    while pairs:
+        i, j = pairs[rng.randrange(len(pairs))]
+        m_ij = remaining[(i, j)]
+        candidates = [v for v in by_source.get(i, []) if assignment[v] == i]
+        # a vertex is movable for this flow if the flow can absorb ~all of
+        # its weight (the paper: m_ij larger than 90% of its weight)
+        movable = [
+            v for v in candidates if m_ij > 0.9 * qg.qverts[v].weight
+            and qg.qverts[v].weight > 0
+        ]
+        if not movable:
+            remaining[(i, j)] = 0.0
+            pairs.remove((i, j))
+            continue
+        benefits = {
+            v: _benefit(qg, v, i, j, pos, ng) for v in movable
+        }
+        best_benefit = max(benefits.values())
+        span = abs(best_benefit) if best_benefit != 0 else 1.0
+        window = [
+            v for v, b in benefits.items()
+            if b >= best_benefit - benefit_window * span
+        ]
+        dirty_window = [v for v in window if v in stats.dirty]
+        pool = dirty_window or window
+        chosen = max(pool, key=lambda v: (qg.qverts[v].load_density(), str(v)))
+
+        qv = qg.qverts[chosen]
+        assignment[chosen] = j
+        pos[chosen] = ng.site(j)
+        by_source[i].remove(chosen)
+        by_source.setdefault(j, []).append(chosen)
+        if chosen not in stats.dirty:
+            stats.moved_state += qv.state_size
+        stats.dirty.add(chosen)
+        stats.moved_vertices += 1
+        stats.moved_weight += qv.weight
+        remaining[(i, j)] = m_ij - qv.weight
+        if remaining[(i, j)] <= floor:
+            stats.flows_satisfied += 1
+            pairs.remove((i, j))
+    return stats
+
+
+def refine_distribution(
+    qg: QueryGraph,
+    ng: NetworkGraph,
+    assignment: Mapping,
+    original: Mapping,
+    alpha: float = DEFAULT_ALPHA,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """The distribution-refinement phase; returns the number of moves.
+
+    ``original`` is the assignment at the start of the adaptation round
+    (used for the "map back to its original location" rule, which undoes
+    migrations that turned out unnecessary).
+    """
+    rng = rng or random.Random(0)
+    limits = qg.capacity_limits(ng, alpha)
+    loads = qg.loads(assignment, ng)
+    pos = _positions(qg, assignment, ng)
+    moves = 0
+    # equal-share targets: refinement must not undo the re-balancing phase,
+    # so a move may neither push the destination above its ceiling nor
+    # hollow the source below its fair share by more than alpha
+    total_q = qg.total_qweight()
+    total_c = ng.total_capability()
+    share = {
+        vid: ng.capability(vid) * total_q / total_c for vid in ng.ids()
+    }
+
+    order = list(qg.qverts)
+    rng.shuffle(order)
+    for vid in order:
+        qv = qg.qverts[vid]
+        here = assignment[vid]
+
+        def fits(target: VertexId) -> bool:
+            if loads[target] + qv.weight > limits[target] + 1e-9:
+                return False
+            floor = (1.0 - alpha) * share[here]
+            return loads[here] - qv.weight >= floor - 1e-9
+
+        def apply(target: VertexId) -> None:
+            nonlocal moves
+            loads[assignment[vid]] -= qv.weight
+            assignment[vid] = target
+            loads[target] += qv.weight
+            pos[vid] = ng.site(target)
+            moves += 1
+
+        # rule 1: go home if free
+        home = original.get(vid)
+        if home is not None and home != here and fits(home):
+            if _benefit(qg, vid, here, home, pos, ng) >= -1e-9:
+                apply(home)
+                continue
+        # rule 2: strict WEC improvement anywhere legal
+        best_target = None
+        best_gain = 1e-9
+        for target in ng.ids():
+            if target == here or not fits(target):
+                continue
+            gain = _benefit(qg, vid, here, target, pos, ng)
+            if gain > best_gain:
+                best_gain = gain
+                best_target = target
+        if best_target is not None:
+            apply(best_target)
+    return moves

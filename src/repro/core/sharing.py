@@ -1,0 +1,202 @@
+"""Result-stream sharing deployment (Section 2 end to end).
+
+Given a COSMOS placement (query id -> processor), this module stands up
+the *data plane* the paper describes:
+
+* one :class:`~repro.engine.executor.Engine` per processor;
+* per processor, overlapping queries are folded into merged superset
+  queries (:class:`~repro.query.merging.SharedGroup`) so each group runs
+  once;
+* a pub/sub network over the processor+source overlay delivers source
+  streams to the engines (subscription ``p^1`` per processor) and result
+  streams back to the users' proxies (split subscription ``p^2`` per
+  query).
+
+This is the integration layer the prototype study exercises; it also
+doubles as a reference for how a downstream system would embed COSMOS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.executor import Engine
+from ..engine.tuples import StreamTuple
+from ..pubsub.messages import Event, result_stream_name
+from ..pubsub.network import PubSubNetwork
+from ..pubsub.subscriptions import Advertisement, Subscription
+from ..query.ast import Query
+from ..query.containment import selection_filter
+from ..query.merging import SharedGroup, split_subscription
+from ..topology.overlay import OverlayTree
+
+__all__ = ["DeployedQuery", "SharingDeployment"]
+
+
+@dataclass
+class DeployedQuery:
+    """Bookkeeping for one user query in a deployment."""
+
+    query: Query
+    proxy: int
+    processor: int
+    #: the merged query actually executing at the processor
+    executed_name: str
+    #: the user's subscription on the merged result stream
+    result_subscription: Subscription
+    received: List[Event] = field(default_factory=list)
+
+
+class SharingDeployment:
+    """Engines + pub/sub wired from a placement."""
+
+    def __init__(
+        self,
+        overlay: OverlayTree,
+        stream_sources: Dict[str, int],
+    ):
+        self.net = PubSubNetwork(overlay)
+        self.stream_sources = dict(stream_sources)
+        self.engines: Dict[int, Engine] = {}
+        self.groups: Dict[int, SharedGroup] = {}
+        self.deployed: Dict[str, DeployedQuery] = {}
+        self._result_stream_of_group: Dict[Tuple[int, int], str] = {}
+        for stream, node in self.stream_sources.items():
+            self.net.advertise(node, Advertisement(stream=stream))
+
+    # ------------------------------------------------------------------
+    def deploy(self, query: Query, proxy: int, processor: int) -> DeployedQuery:
+        """Install ``query`` at ``processor`` with sharing.
+
+        The query is merged into an existing compatible group when
+        possible; the group's merged query replaces the previous one in
+        the engine, and all member users get fresh split subscriptions.
+        """
+        if not query.name:
+            raise ValueError("queries must be named before deployment")
+        engine = self.engines.setdefault(processor, Engine(node=processor))
+        group = self.groups.setdefault(processor, SharedGroup(processor))
+
+        merged = group.add(query)
+        gi = next(
+            i for i, (m, _) in enumerate(group.groups) if m is merged
+        )
+        stream = self._result_stream_of_group.get((processor, gi))
+        if stream is None:
+            stream = result_stream_name(processor, f"g{gi}")
+            self._result_stream_of_group[(processor, gi)] = stream
+            # the processor advertises the new result stream so user
+            # subscriptions can route toward it (Section 2.1)
+            self.net.advertise(processor, Advertisement(stream=stream))
+
+        # (re)install the merged query in the engine
+        old_names = [
+            n for n, plan in engine.plans.items()
+            if plan.result_stream == stream
+        ]
+        for n in old_names:
+            engine.remove_query(n)
+        executed = Query(
+            select=merged.select,
+            bindings=merged.bindings,
+            where=merged.where,
+            name=f"{stream}::exec",
+        )
+        engine.add_query(executed, result_stream=stream)
+
+        # subscription p^1: the processor pulls the source data it needs,
+        # carrying the merged query's filters for early data filtering.
+        # Source events carry *unqualified* attribute names, so the
+        # alias prefix is stripped from the predicates.
+        from ..pubsub.predicates import Constraint, Filter
+        from ..query.ast import AttrRef, Literal
+
+        for binding in executed.bindings:
+            constraints = [
+                Constraint(c.left.attr, c.op, c.right.value)
+                for c in executed.selections()
+                if isinstance(c.left, AttrRef)
+                and c.left.stream == binding.alias
+                and isinstance(c.right, Literal)
+            ]
+            self.net.subscribe(
+                processor,
+                Subscription.to_streams(
+                    [binding.stream], filter=Filter(constraints)
+                ),
+            )
+
+        # subscription p^2 per member: carve results at the proxy
+        members = group.groups[gi][1]
+        for member in members:
+            sub = split_subscription(merged, member, stream)
+            dq = self.deployed.get(member.name)
+            if dq is None:
+                dq = DeployedQuery(
+                    query=member,
+                    proxy=proxy,
+                    processor=processor,
+                    executed_name=executed.name,
+                    result_subscription=sub,
+                )
+                self.deployed[member.name] = dq
+            else:
+                self.net.unsubscribe(dq.result_subscription.sub_id)
+                dq.executed_name = executed.name
+                dq.result_subscription = sub
+            self.net.subscribe(dq.proxy, sub)
+        return self.deployed[query.name]
+
+    # ------------------------------------------------------------------
+    def publish(self, source_tuple: StreamTuple) -> None:
+        """Inject one source tuple: pub/sub delivers it to engines, the
+        engines run, and result tuples ride the pub/sub to the proxies."""
+        event = Event(
+            stream=source_tuple.stream,
+            attributes=dict(source_tuple.values),
+            size=float(len(source_tuple.values)),
+        )
+        node = self.stream_sources[source_tuple.stream]
+        # several co-located subscriptions may match the same event; the
+        # engine must still see it exactly once, with the widest projection
+        per_host: Dict[int, Event] = {}
+        for host, delivered, _sub in self.net.publish(node, event):
+            best = per_host.get(host)
+            if best is None or len(delivered.attributes) > len(best.attributes):
+                per_host[host] = delivered
+        for host, delivered in per_host.items():
+            engine = self.engines.get(host)
+            if engine is None:
+                continue
+            results = engine.push(
+                StreamTuple(source_tuple.stream, dict(delivered.attributes))
+            )
+            for r in results:
+                result_event = Event(
+                    stream=r.stream,
+                    attributes=dict(r.values),
+                    size=float(len(r.values)),
+                )
+                for proxy, final, sub in self.net.publish(host, result_event):
+                    for dq in self.deployed.values():
+                        if dq.result_subscription.sub_id == sub.sub_id:
+                            dq.received.append(final)
+
+    def run(self, trace: Sequence[StreamTuple]) -> None:
+        for t in trace:
+            self.publish(t)
+
+    # ------------------------------------------------------------------
+    def executed_query_count(self) -> int:
+        """Queries actually running (after sharing)."""
+        return sum(len(e.plans) for e in self.engines.values())
+
+    def user_query_count(self) -> int:
+        return len(self.deployed)
+
+    def results_of(self, query_name: str) -> List[Event]:
+        return self.deployed[query_name].received
+
+    def weighted_data_cost(self) -> float:
+        return self.net.weighted_data_cost()

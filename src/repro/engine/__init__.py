@@ -1,0 +1,23 @@
+"""Continuous-query engine (GSN substitute) and synthetic sensor data."""
+
+from .executor import Engine
+from .operators import Project, Select, WindowJoin, evaluate_comparison
+from .plans import QueryPlan, compile_query
+from .sensors import SensorFleet, SensorStation
+from .tuples import Schema, StreamTuple
+from .windows import SlidingWindow
+
+__all__ = [
+    "Engine",
+    "QueryPlan",
+    "compile_query",
+    "Select",
+    "Project",
+    "WindowJoin",
+    "evaluate_comparison",
+    "Schema",
+    "StreamTuple",
+    "SlidingWindow",
+    "SensorFleet",
+    "SensorStation",
+]

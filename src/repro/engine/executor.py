@@ -1,0 +1,87 @@
+"""A per-processor continuous-query engine (the GSN substitute).
+
+An :class:`Engine` hosts compiled query plans, routes incoming stream
+tuples to the plans that read them, collects result tuples per result
+stream, and accounts CPU cost so the optimizer's per-query load estimates
+(Section 3.8) can be refreshed from real measurements.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..query.ast import Query
+from .plans import QueryPlan, compile_query
+from .tuples import StreamTuple
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """One stream-processing engine instance."""
+
+    def __init__(self, node: Optional[int] = None):
+        self.node = node
+        self.plans: Dict[str, QueryPlan] = {}
+        #: stream name -> [(query name, alias)] subscriptions
+        self._readers: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+        #: result sink callbacks per query name
+        self._sinks: Dict[str, List[Callable[[StreamTuple], None]]] = defaultdict(list)
+        self.results: Dict[str, List[StreamTuple]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    def add_query(self, query: Query, result_stream: Optional[str] = None) -> QueryPlan:
+        """Compile and register a query; returns its plan."""
+        name = query.name or f"q{len(self.plans)}"
+        if name in self.plans:
+            raise ValueError(f"duplicate query name {name!r}")
+        plan = compile_query(query, result_stream=result_stream)
+        self.plans[name] = plan
+        for b in query.bindings:
+            self._readers[b.stream].append((name, b.alias))
+        return plan
+
+    def remove_query(self, name: str) -> None:
+        plan = self.plans.pop(name, None)
+        if plan is None:
+            raise KeyError(name)
+        for stream, readers in list(self._readers.items()):
+            readers[:] = [(n, a) for n, a in readers if n != name]
+            if not readers:
+                del self._readers[stream]
+        self._sinks.pop(name, None)
+
+    def on_result(self, name: str, sink: Callable[[StreamTuple], None]) -> None:
+        """Register a callback for a query's result tuples."""
+        if name not in self.plans:
+            raise KeyError(name)
+        self._sinks[name].append(sink)
+
+    # ------------------------------------------------------------------
+    def push(self, t: StreamTuple) -> List[StreamTuple]:
+        """Route one source tuple to all plans reading its stream."""
+        out: List[StreamTuple] = []
+        for name, alias in self._readers.get(t.stream, []):
+            plan = self.plans[name]
+            for result in plan.push(alias, t):
+                self.results[name].append(result)
+                out.append(result)
+                for sink in self._sinks.get(name, []):
+                    sink(result)
+        return out
+
+    def run(self, tuples: Sequence[StreamTuple]) -> Dict[str, List[StreamTuple]]:
+        """Push a whole trace (must be timestamp-ordered per stream)."""
+        for t in tuples:
+            self.push(t)
+        return dict(self.results)
+
+    # ------------------------------------------------------------------
+    def cpu_costs(self) -> Dict[str, int]:
+        """Per-query tuples-inspected counters (load statistics)."""
+        return {name: plan.cpu_cost() for name, plan in self.plans.items()}
+
+    def state_sizes(self) -> Dict[str, int]:
+        """Per-query operator state (window extents), for migration cost."""
+        return {name: plan.state_size() for name, plan in self.plans.items()}

@@ -1,0 +1,152 @@
+"""Continuous operators: selection, projection, window band-join.
+
+The engine is push-based: every operator exposes ``process(tuple) ->
+list of output tuples``.  Join outputs use qualified attribute names
+(``Alias.attr``), matching how the paper's merged queries and split
+subscriptions address result-stream attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..query.ast import AttrRef, Comparison, Literal, Window
+from .tuples import StreamTuple
+from .windows import SlidingWindow
+
+__all__ = ["Operator", "Select", "Project", "WindowJoin", "evaluate_comparison"]
+
+
+def _operand_value(operand, values: Dict[str, Any]):
+    if isinstance(operand, Literal):
+        return operand.value
+    return values.get(str(operand))
+
+
+def evaluate_comparison(c: Comparison, values: Dict[str, Any]) -> bool:
+    """Evaluate a predicate over qualified values; missing attrs fail."""
+    left = _operand_value(c.left, values)
+    right = _operand_value(c.right, values)
+    if left is None or right is None:
+        return False
+    if c.op == "==":
+        return left == right
+    if c.op == "!=":
+        return left != right
+    if c.op == "<":
+        return left < right
+    if c.op == "<=":
+        return left <= right
+    if c.op == ">":
+        return left > right
+    if c.op == ">=":
+        return left >= right
+    raise AssertionError(c.op)
+
+
+class Operator:
+    """Base class; subclasses implement :meth:`process`."""
+
+    def process(self, t: StreamTuple) -> List[StreamTuple]:
+        raise NotImplementedError
+
+    #: number of tuples this operator inspected (CPU accounting)
+    inspected: int = 0
+
+
+class Select(Operator):
+    """Filter by a conjunction of predicates over qualified names."""
+
+    def __init__(self, predicates: Sequence[Comparison], out_stream: str = ""):
+        self.predicates = list(predicates)
+        self.out_stream = out_stream
+        self.inspected = 0
+
+    def process(self, t: StreamTuple) -> List[StreamTuple]:
+        self.inspected += 1
+        values = dict(t.values)
+        if all(evaluate_comparison(p, values) for p in self.predicates):
+            out = t if not self.out_stream else StreamTuple(self.out_stream, t.values)
+            return [out]
+        return []
+
+
+class Project(Operator):
+    """Keep only the given qualified attributes (always keeps timestamps)."""
+
+    def __init__(self, attributes: Optional[Sequence[str]], out_stream: str = ""):
+        self.attributes = None if attributes is None else set(attributes)
+        self.out_stream = out_stream
+        self.inspected = 0
+
+    def process(self, t: StreamTuple) -> List[StreamTuple]:
+        self.inspected += 1
+        if self.attributes is None:
+            values = dict(t.values)
+        else:
+            values = {
+                k: v
+                for k, v in t.values.items()
+                if k in self.attributes
+                or k.endswith("timestamp")
+                or k.endswith("timestamp_lag")
+            }
+        stream = self.out_stream or t.stream
+        return [StreamTuple(stream, values)]
+
+
+class WindowJoin(Operator):
+    """Two-way sliding-window join (the paper's only join shape).
+
+    Each input tuple joins against the *other* side's current window
+    extent; matched pairs are emitted with qualified attribute names plus
+    a top-level ``timestamp`` (the newer of the two).  Predicates may
+    reference ``left_alias.attr`` and ``right_alias.attr``.
+    """
+
+    def __init__(
+        self,
+        left_alias: str,
+        left_window: Window,
+        right_alias: str,
+        right_window: Window,
+        predicates: Sequence[Comparison],
+        out_stream: str,
+    ):
+        self.left_alias = left_alias
+        self.right_alias = right_alias
+        self.left_window = SlidingWindow(left_window)
+        self.right_window = SlidingWindow(right_window)
+        self.predicates = list(predicates)
+        self.out_stream = out_stream
+        self.inspected = 0
+
+    def state_size(self) -> int:
+        return len(self.left_window) + len(self.right_window)
+
+    def process_side(self, alias: str, t: StreamTuple) -> List[StreamTuple]:
+        if alias == self.left_alias:
+            own, other = self.left_window, self.right_window
+            own_alias, other_alias = self.left_alias, self.right_alias
+        elif alias == self.right_alias:
+            own, other = self.right_window, self.left_window
+            own_alias, other_alias = self.right_alias, self.left_alias
+        else:
+            raise KeyError(f"unknown join input {alias!r}")
+        own.insert(t)
+        out: List[StreamTuple] = []
+        for partner in other.contents(now=t.timestamp):
+            self.inspected += 1
+            values = t.qualify(own_alias)
+            values.update(partner.qualify(other_alias))
+            values["timestamp"] = t.timestamp
+            # per-alias lag relative to the result timestamp: lets split
+            # subscriptions re-apply a *smaller* window downstream
+            values[f"{own_alias}.timestamp_lag"] = 0.0
+            values[f"{other_alias}.timestamp_lag"] = t.timestamp - partner.timestamp
+            if all(evaluate_comparison(p, values) for p in self.predicates):
+                out.append(StreamTuple(self.out_stream, values))
+        return out
+
+    def process(self, t: StreamTuple) -> List[StreamTuple]:
+        raise TypeError("WindowJoin requires process_side(alias, tuple)")

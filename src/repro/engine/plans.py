@@ -1,0 +1,122 @@
+"""Compile a parsed :class:`~repro.query.ast.Query` into an operator plan.
+
+Plan shape (the paper's query class): per-input selection pushed down,
+then a window join for two-input queries, then projection.  Single-input
+queries skip the join.  The plan exposes ``push(alias, tuple)`` and
+returns result tuples named after the query's result stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..query.ast import AttrRef, Query
+from .operators import Project, Select, WindowJoin
+from .tuples import StreamTuple
+
+__all__ = ["QueryPlan", "compile_query"]
+
+
+class QueryPlan:
+    """An executable plan for one continuous query."""
+
+    def __init__(
+        self,
+        query: Query,
+        selects: Dict[str, Select],
+        join: Optional[WindowJoin],
+        project: Project,
+        result_stream: str,
+    ):
+        self.query = query
+        self.selects = selects
+        self.join = join
+        self.project = project
+        self.result_stream = result_stream
+        self.results_emitted = 0
+
+    def aliases(self) -> List[str]:
+        return self.query.aliases()
+
+    def push(self, alias: str, t: StreamTuple) -> List[StreamTuple]:
+        """Feed one input tuple; returns result tuples (possibly empty)."""
+        if alias not in self.selects:
+            raise KeyError(f"query {self.query.name!r} has no input {alias!r}")
+        survivors = self.selects[alias].process(t)
+        out: List[StreamTuple] = []
+        for s in survivors:
+            if self.join is not None:
+                for joined in self.join.process_side(alias, s):
+                    out.extend(self.project.process(joined))
+            else:
+                qualified = StreamTuple(
+                    self.result_stream,
+                    {**s.qualify(alias), "timestamp": s.timestamp},
+                )
+                out.extend(self.project.process(qualified))
+        self.results_emitted += len(out)
+        return out
+
+    def cpu_cost(self) -> int:
+        """Tuples inspected across all operators (load estimation input)."""
+        total = sum(s.inspected for s in self.selects.values())
+        if self.join is not None:
+            total += self.join.inspected
+        total += self.project.inspected
+        return total
+
+    def state_size(self) -> int:
+        return self.join.state_size() if self.join is not None else 0
+
+
+def compile_query(query: Query, result_stream: Optional[str] = None) -> QueryPlan:
+    """Build the operator plan for ``query``."""
+    if not 1 <= len(query.bindings) <= 2:
+        raise ValueError("engine supports 1- and 2-way queries")
+    result_stream = result_stream or (query.name or "result")
+
+    selects: Dict[str, Select] = {}
+    for b in query.bindings:
+        preds = [
+            c for c in query.selections()
+            if isinstance(c.left, AttrRef) and c.left.stream == b.alias
+        ]
+        selects[b.alias] = _bare_select(preds, b.alias)
+
+    join = None
+    if len(query.bindings) == 2:
+        left, right = query.bindings
+        join = WindowJoin(
+            left_alias=left.alias,
+            left_window=left.window,
+            right_alias=right.alias,
+            right_window=right.window,
+            predicates=list(query.joins()),
+            out_stream=result_stream,
+        )
+
+    # projection over qualified names
+    attrs: Optional[List[str]] = []
+    for b in query.bindings:
+        selected = query.projected_attrs(b.alias)
+        if selected is None:
+            attrs = None
+            break
+        attrs.extend(f"{b.alias}.{a}" for a in selected)
+    project = Project(attrs, out_stream=result_stream)
+    return QueryPlan(query, selects, join, project, result_stream)
+
+
+def _bare_select(predicates, alias: str) -> Select:
+    """A Select evaluating ``Alias.attr OP const`` on unqualified tuples."""
+    from .operators import evaluate_comparison
+
+    class _AliasedSelect(Select):
+        def process(self, t: StreamTuple):
+            self.inspected += 1
+            values = {f"{alias}.{k}": v for k, v in t.values.items()}
+            if all(evaluate_comparison(p, values) for p in self.predicates):
+                return [t]
+            return []
+
+    return _AliasedSelect(predicates)

@@ -1,0 +1,52 @@
+"""Stream tuples and schemas for the continuous-query engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["Schema", "StreamTuple"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Attribute names of a stream; every tuple carries a ``timestamp``."""
+
+    stream: str
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self):
+        if "timestamp" not in self.attributes:
+            object.__setattr__(
+                self, "attributes", self.attributes + ("timestamp",)
+            )
+
+    def validate(self, values: Mapping[str, Any]) -> None:
+        unknown = set(values) - set(self.attributes)
+        if unknown:
+            raise ValueError(
+                f"attributes {sorted(unknown)} not in schema of {self.stream}"
+            )
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """One element of a stream.
+
+    ``values`` always contains ``timestamp`` (seconds).  Joined tuples use
+    qualified names (``Alias.attr``) produced by :func:`qualify`.
+    """
+
+    stream: str
+    values: Mapping[str, Any]
+
+    @property
+    def timestamp(self) -> float:
+        return float(self.values["timestamp"])
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        return self.values.get(attr, default)
+
+    def qualify(self, alias: str) -> Dict[str, Any]:
+        """Values keyed as ``alias.attr`` (for join outputs)."""
+        return {f"{alias}.{k}": v for k, v in self.values.items()}

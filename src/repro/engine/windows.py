@@ -1,0 +1,57 @@
+"""Sliding windows over streams.
+
+Time windows keep tuples with ``timestamp >= now - seconds`` (``[Now]`` is
+``seconds = 0``: only tuples with the current timestamp).  Row windows
+keep the last ``rows`` tuples.  Eviction is incremental: windows are
+deques with monotone timestamps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from ..query.ast import Window
+from .tuples import StreamTuple
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow:
+    """The materialised extent of one window over one stream."""
+
+    def __init__(self, spec: Window):
+        self.spec = spec
+        self._buf: Deque[StreamTuple] = deque()
+        self._last_ts: Optional[float] = None
+
+    def insert(self, t: StreamTuple) -> None:
+        """Append a tuple (timestamps must be non-decreasing)."""
+        if self._last_ts is not None and t.timestamp < self._last_ts:
+            raise ValueError(
+                f"out-of-order tuple: {t.timestamp} after {self._last_ts}"
+            )
+        self._last_ts = t.timestamp
+        self._buf.append(t)
+        if self.spec.rows is not None:
+            while len(self._buf) > self.spec.rows:
+                self._buf.popleft()
+        else:
+            self.evict(t.timestamp)
+
+    def evict(self, now: float) -> None:
+        """Drop tuples that left a time window as of ``now``."""
+        if self.spec.rows is not None:
+            return
+        horizon = now - self.spec.seconds
+        while self._buf and self._buf[0].timestamp < horizon:
+            self._buf.popleft()
+
+    def contents(self, now: Optional[float] = None) -> List[StreamTuple]:
+        """Current window extent (evicting up to ``now`` first)."""
+        if now is not None:
+            self.evict(now)
+        return list(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)

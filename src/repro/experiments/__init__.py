@@ -1,0 +1,25 @@
+"""Experiment drivers, one per paper figure/table."""
+
+from . import fig6, fig7, fig8, fig9, fig10, fig11, table2
+from .config import (
+    ExperimentConfig,
+    Testbed,
+    bench_scale,
+    build_testbed,
+    paper_scale,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "Testbed",
+    "bench_scale",
+    "paper_scale",
+    "build_testbed",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+]

@@ -1,0 +1,105 @@
+"""Figure 8: new query arrival.
+
+Starting from an initial population, batches of new queries arrive every
+interval (the paper: 30,000 initial, 1,500 new per 200-second interval).
+Three policies:
+
+* Random          -- new queries land on random processors;
+* Online          -- COSMOS online insertion (Section 3.6);
+* Online-Adaptive -- online insertion plus one adaptation round per
+  interval.
+
+Figure 8(a) reports average weighted communication cost per interval,
+8(b) the standard deviation of processor loads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..baselines.simple import random_placement
+from .config import ExperimentConfig, bench_scale, build_testbed
+
+__all__ = ["Fig8Series", "run"]
+
+
+@dataclass
+class Fig8Series:
+    intervals: List[int] = field(default_factory=list)
+    random_cost: List[float] = field(default_factory=list)
+    online_cost: List[float] = field(default_factory=list)
+    online_adaptive_cost: List[float] = field(default_factory=list)
+    random_std: List[float] = field(default_factory=list)
+    online_std: List[float] = field(default_factory=list)
+    online_adaptive_std: List[float] = field(default_factory=list)
+
+
+def run(
+    config: ExperimentConfig = None,
+    intervals: int = 10,
+    batch_size: int = 75,
+) -> Fig8Series:
+    """The arrival experiment (defaults scaled to the bench config:
+    1,500 initial queries + 75 per interval mirrors the paper's
+    30,000 + 1,500 at 5%)."""
+    config = config or bench_scale()
+    bed = build_testbed(config)
+    initial = list(bed.workload.queries)
+
+    # three independent policies over the same arrival sequence
+    cosmos_online = bed.new_cosmos()
+    cosmos_online.distribute(initial)
+    cosmos_adaptive = bed.new_cosmos()
+    cosmos_adaptive.distribute(initial)
+    pl_random: Dict[int, int] = dict(cosmos_online.placement)
+    rng = random.Random(config.seed + 8)
+
+    batches = [
+        bed.workload.new_queries(batch_size, bed.processors)
+        for _ in range(intervals)
+    ]
+
+    def snapshot(series: Fig8Series, interval: int) -> None:
+        queries = bed.workload.queries[: len(initial) + interval * batch_size]
+        series.intervals.append(interval)
+        for name, placement in (
+            ("random", pl_random),
+            ("online", dict(cosmos_online.placement)),
+            ("online_adaptive", dict(cosmos_adaptive.placement)),
+        ):
+            cost = bed.cost_model.weighted_cost(placement, queries)
+            from ..sim.metrics import load_stddev
+
+            std = load_stddev(placement, queries, bed.processors)
+            getattr(series, f"{name}_cost").append(cost)
+            getattr(series, f"{name}_std").append(std)
+
+    series = Fig8Series()
+    snapshot(series, 0)
+    for i, batch in enumerate(batches, start=1):
+        for q in batch:
+            pl_random[q.query_id] = rng.choice(bed.processors)
+            cosmos_online.insert(q)
+            cosmos_adaptive.insert(q)
+        cosmos_adaptive.adapt()
+        snapshot(series, i)
+    return series
+
+
+def format_series(s: Fig8Series) -> str:
+    lines = [
+        "Figure 8: new query arrival",
+        f"{'intv':>4} | {'Rand cost':>10} {'Onl cost':>10} {'Onl-A cost':>10}"
+        f" | {'Rand std':>8} {'Onl std':>8} {'Onl-A std':>8}",
+    ]
+    for i, t in enumerate(s.intervals):
+        lines.append(
+            f"{t:>4} | {s.random_cost[i] / 1e3:>10.1f}"
+            f" {s.online_cost[i] / 1e3:>10.1f}"
+            f" {s.online_adaptive_cost[i] / 1e3:>10.1f}"
+            f" | {s.random_std[i]:>8.2f} {s.online_std[i]:>8.2f}"
+            f" {s.online_adaptive_std[i]:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Figure 9: effect of the cluster size parameter ``k``.
+
+A smaller ``k`` makes the coordinator tree taller: more coarsening steps
+(worse distribution quality) but fewer children per coordinator (higher
+root throughput for online insertion).  The experiment sweeps ``k`` and
+reports, per value:
+
+* 9(a) the weighted communication cost of the resulting distribution;
+* 9(b) the root coordinator's query-insertion throughput (queries/s),
+  measured over a stream of online insertions exactly as the paper does
+  ("collect the time for the root coordinator to distribute a query").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .config import ExperimentConfig, bench_scale, build_testbed
+
+__all__ = ["Fig9Row", "run"]
+
+
+@dataclass
+class Fig9Row:
+    k: int
+    tree_height: int
+    cost: float
+    #: root-coordinator insertions per second
+    throughput: float
+
+
+def run(
+    config: ExperimentConfig = None,
+    ks: Sequence[int] = (2, 4, 8, 16),
+    insertions: int = 200,
+    num_processors: int = 128,
+) -> List[Fig9Row]:
+    """Sweep k.  The processor count defaults to 128 (more than the other
+    bench experiments) so that the root's fan-out actually grows with k,
+    as it does at the paper's 256-processor scale."""
+    config = config or bench_scale()
+    if num_processors:
+        from dataclasses import replace
+
+        config = replace(config, num_processors=num_processors)
+    rows: List[Fig9Row] = []
+    for k in ks:
+        bed = build_testbed(config.with_k(k))
+        cosmos = bed.new_cosmos()
+        cosmos.distribute(bed.workload.queries)
+
+        # warm up caches (latency rows, routing state) outside the
+        # measurement, then time the root coordinator's routing work
+        warmup = bed.workload.new_queries(10, bed.processors)
+        for q in warmup:
+            cosmos.insert(q)
+        fresh = bed.workload.new_queries(insertions, bed.processors)
+        root = cosmos.root
+        before = root.cpu_time
+        for q in fresh:
+            cosmos.insert(q)
+        root_time = root.cpu_time - before
+        throughput = insertions / root_time if root_time > 0 else float("inf")
+
+        placement = dict(cosmos.placement)
+        cost = bed.cost_model.weighted_cost(placement, bed.workload.queries)
+        rows.append(
+            Fig9Row(
+                k=k,
+                tree_height=cosmos.tree_height(),
+                cost=cost,
+                throughput=throughput,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: Sequence[Fig9Row]) -> str:
+    lines = [
+        "Figure 9: cluster size parameter k",
+        f"{'k':>3} {'height':>6} {'cost(x1k)':>10} {'root-throughput (q/s)':>22}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.k:>3} {r.tree_height:>6} {r.cost / 1e3:>10.1f} {r.throughput:>22.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Two-phase operator-placement baseline and the prototype-study workload."""
+
+from .operator_graph import (
+    OperatorGraph,
+    OpVertex,
+    PrototypeQuery,
+    build_operator_graph,
+)
+from .placement import PlacementResult, place_operators, placement_cost
+from .prototype import (
+    PrototypeWorkload,
+    cosmos_cost,
+    generate_prototype_workload,
+)
+
+__all__ = [
+    "OpVertex",
+    "OperatorGraph",
+    "PrototypeQuery",
+    "build_operator_graph",
+    "PlacementResult",
+    "place_operators",
+    "placement_cost",
+    "PrototypeWorkload",
+    "generate_prototype_workload",
+    "cosmos_cost",
+]

@@ -1,0 +1,163 @@
+"""The prototype-study workload (Section 4.2).
+
+Mirrors the PlanetLab experiment: 30 overlay nodes from different
+countries/continents, 5 of them data sources with 100 sensors total, and
+250-4000 random queries, each with one to three random selection
+predicates on sensor readings/types and a timestamp band join, attached
+to a random proxy node.
+
+One generator yields both views of the same workload:
+
+* :class:`~repro.placement.operator_graph.PrototypeQuery` objects for the
+  two-phase operator-placement baseline, and
+* :class:`~repro.query.workload.QuerySpec` objects (sensor = substream)
+  plus a :class:`~repro.query.interest.SubstreamSpace` for COSMOS.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..query.interest import SubstreamSpace, mask_of
+from ..query.workload import QuerySpec
+from ..topology.latency import LatencyOracle
+from .operator_graph import PrototypeQuery
+
+__all__ = ["PrototypeWorkload", "generate_prototype_workload", "cosmos_cost"]
+
+_ATTRS = ("snowHeight", "temperature", "windSpeed")
+_OPS = (">", ">=", "<", "<=")
+
+
+@dataclass
+class PrototypeWorkload:
+    """Both views of one random prototype workload."""
+
+    sensors: List[str]
+    sensor_source: Dict[str, int]
+    sensor_rate: Dict[str, float]
+    proto_queries: List[PrototypeQuery]
+    cosmos_queries: List[QuerySpec]
+    space: SubstreamSpace
+
+
+def _selectivity(op: str, value: float, lo: float, hi: float) -> float:
+    frac = (value - lo) / (hi - lo)
+    frac = min(max(frac, 0.0), 1.0)
+    return max(0.05, 1.0 - frac if op in (">", ">=") else frac)
+
+
+def generate_prototype_workload(
+    num_queries: int,
+    sources: Sequence[int],
+    nodes: Sequence[int],
+    num_sensors: int = 100,
+    seed: int = 0,
+) -> PrototypeWorkload:
+    """Random queries over ``num_sensors`` sensors split across sources."""
+    rng = random.Random(seed)
+    sensors = [f"Sensor{i + 1}" for i in range(num_sensors)]
+    sensor_source = {
+        s: sources[i * len(sources) // num_sensors]
+        for i, s in enumerate(sensors)
+    }
+    sensor_rate = {s: rng.uniform(5.0, 20.0) for s in sensors}
+    sensor_index = {s: i for i, s in enumerate(sensors)}
+
+    space = SubstreamSpace(
+        rates=np.asarray([sensor_rate[s] for s in sensors]),
+        source_of=np.asarray([sensor_source[s] for s in sensors]),
+    )
+
+    proto: List[PrototypeQuery] = []
+    cosmos: List[QuerySpec] = []
+    for qid in range(num_queries):
+        n_inputs = rng.randint(1, 2) if rng.random() < 0.3 else 2
+        inputs = tuple(rng.sample(sensors, n_inputs))
+        selections: List[Tuple[str, str, str, float]] = []
+        selectivities: Dict[Tuple[str, str, str, float], float] = {}
+        for _ in range(rng.randint(1, 3)):
+            stream = rng.choice(inputs)
+            attr = rng.choice(_ATTRS)
+            op = rng.choice(_OPS)
+            lo, hi = (0.0, 50.0) if attr != "temperature" else (-15.0, 10.0)
+            # coarse value grid so that predicates repeat across queries
+            # (that repetition is what NiagaraCQ-style sharing exploits)
+            value = round(rng.uniform(lo, hi) / 5.0) * 5.0
+            sel = (stream, attr, op, value)
+            selections.append(sel)
+            selectivities[sel] = _selectivity(op, value, lo, hi)
+        proxy = rng.choice(list(nodes))
+        input_rates = {s: sensor_rate[s] for s in inputs}
+        combined_sel = 1.0
+        for sel in selections:
+            combined_sel *= selectivities[sel]
+        output_rate = max(0.5, combined_sel * sum(input_rates.values()) * 0.2)
+
+        proto.append(
+            PrototypeQuery(
+                query_id=qid,
+                proxy=proxy,
+                inputs=inputs,
+                selections=tuple(selections),
+                input_rates=input_rates,
+                selectivities=selectivities,
+                output_rate=output_rate,
+            )
+        )
+        mask = mask_of(sensor_index[s] for s in inputs)
+        in_rate = sum(input_rates.values())
+        cosmos.append(
+            QuerySpec(
+                query_id=qid,
+                proxy=proxy,
+                mask=mask,
+                group=0,
+                load=0.01 * in_rate,
+                result_rate=output_rate,
+                state_size=rng.uniform(1.0, 50.0),
+            )
+        )
+    return PrototypeWorkload(
+        sensors=sensors,
+        sensor_source=sensor_source,
+        sensor_rate=sensor_rate,
+        proto_queries=proto,
+        cosmos_queries=cosmos,
+        space=space,
+    )
+
+
+def cosmos_cost(
+    workload: PrototypeWorkload,
+    placement: Dict[int, int],
+    oracle: LatencyOracle,
+) -> float:
+    """Communication cost of a COSMOS placement in operator-graph units.
+
+    Per (sensor, hosting node) pair the sensor stream is delivered once,
+    at the *least filtered* rate any co-located query needs (the pub/sub
+    merges subscriptions conservatively); result streams flow from host to
+    proxy at the query's output rate.
+    """
+    sensor_index = {s: i for i, s in enumerate(workload.sensors)}
+    delivered: Dict[Tuple[str, int], float] = {}
+    total = 0.0
+    for q in workload.proto_queries:
+        host = placement[q.query_id]
+        for stream in q.inputs:
+            sels = [s for s in q.selections if s[0] == stream]
+            rate = workload.sensor_rate[stream]
+            for sel in sels:
+                rate *= q.selectivities[sel]
+            key = (stream, host)
+            delivered[key] = max(delivered.get(key, 0.0), rate)
+        if host != q.proxy:
+            total += q.output_rate * oracle(host, q.proxy)
+    for (stream, host), rate in delivered.items():
+        total += rate * oracle(workload.sensor_source[stream], host)
+    return total

@@ -1,0 +1,54 @@
+"""A single pub/sub broker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from .messages import Event
+from .routing import LOCAL, Interface, RoutingTable
+from .subscriptions import Subscription
+
+__all__ = ["Broker"]
+
+
+@dataclass
+class Broker:
+    """Routing state plus local-delivery bookkeeping for one overlay node."""
+
+    node: int
+    table: RoutingTable = None  # type: ignore[assignment]
+    #: (event, subscription) pairs delivered to local subscribers
+    delivered: List[Tuple[Event, Subscription]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.table is None:
+            self.table = RoutingTable(broker=self.node)
+
+    def deliver_local(self, event: Event) -> List[Tuple[Event, Subscription]]:
+        """Deliver ``event`` to every matching local subscription.
+
+        Each local subscriber receives its own projected copy; the pairs
+        are recorded for test observability and returned.
+        """
+        out = []
+        for sub in self.table.matching_local_subscriptions(event):
+            projected = sub.deliverable(event)
+            self.delivered.append((projected, sub))
+            out.append((projected, sub))
+        return out
+
+    def needed_attributes(self, event: Event, iface: Interface) -> Optional[Set[str]]:
+        """Attributes required by matching subscriptions on ``iface``.
+
+        ``None`` means "all attributes" (some matching subscription has no
+        projection).  Used for in-network projection before forwarding.
+        """
+        needed: Set[str] = set()
+        for sub in self.table.subscriptions.get(iface, []):
+            if not sub.matches(event):
+                continue
+            if sub.projection is None:
+                return None
+            needed |= sub.projection
+        return needed

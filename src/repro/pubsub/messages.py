@@ -1,0 +1,63 @@
+"""Events and stream naming for the content-based pub/sub substrate.
+
+A message (event) is a set of attribute/value pairs plus the name of the
+stream it belongs to, exactly as in Siena-style content-based networking:
+routing decisions look only at the content, never at destination addresses.
+
+Result streams get globally unique names derived from the processor that
+produces them (the paper names them with the processor's identifier, e.g.
+its IP address); :func:`result_stream_name` reproduces that convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+__all__ = ["Event", "result_stream_name"]
+
+
+def result_stream_name(processor_id: int, query_id: str) -> str:
+    """Unique name for the result stream of ``query_id`` hosted at a processor."""
+    return f"result::{processor_id}::{query_id}"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single stream message.
+
+    Attributes
+    ----------
+    stream:
+        Name of the stream the event belongs to (source streams use their
+        own names, result streams use :func:`result_stream_name`).
+    attributes:
+        Attribute/value mapping; values are numbers or strings.
+    size:
+        Payload size in bytes, used for traffic accounting.
+    """
+
+    stream: str
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    size: float = 1.0
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        return self.attributes.get(attr, default)
+
+    def project(self, attrs) -> "Event":
+        """Copy of the event keeping only ``attrs`` (None keeps all).
+
+        Size shrinks proportionally to the number of retained attributes,
+        which models the early-projection bandwidth saving the paper
+        attributes to the pub/sub layer.
+        """
+        if attrs is None:
+            return self
+        kept: Dict[str, Any] = {
+            a: v for a, v in self.attributes.items() if a in attrs
+        }
+        if not self.attributes:
+            new_size = self.size
+        else:
+            new_size = self.size * max(1, len(kept)) / len(self.attributes)
+        return Event(stream=self.stream, attributes=kept, size=new_size)

@@ -1,0 +1,126 @@
+"""Per-broker routing state: advertisement and subscription tables.
+
+Interfaces are either a neighbour broker id (an ``int``) or the marker
+:data:`LOCAL` for subscribers attached to this broker.  The tables mirror
+Siena's: the advertisement table records, per advertisement, the interface
+leading back to the advertiser; the subscription table records, per
+interface, which subscriptions were received from it, so that events are
+forwarded only toward interested parties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from .messages import Event
+from .subscriptions import Advertisement, Subscription
+
+__all__ = ["LOCAL", "Interface", "RoutingTable"]
+
+#: Marker interface for locally attached subscribers.
+LOCAL = "local"
+
+Interface = Union[int, str]
+
+
+@dataclass
+class RoutingTable:
+    """Routing state of one broker."""
+
+    broker: int
+    #: adv_id -> (advertisement, interface toward the advertiser)
+    advertisements: Dict[int, Tuple[Advertisement, Interface]] = field(
+        default_factory=dict
+    )
+    #: interface -> subscriptions received from that interface
+    subscriptions: Dict[Interface, List[Subscription]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # advertisements
+    # ------------------------------------------------------------------
+    def add_advertisement(self, adv: Advertisement, via: Interface) -> bool:
+        """Record an advertisement; returns False if already known."""
+        if adv.adv_id in self.advertisements:
+            return False
+        self.advertisements[adv.adv_id] = (adv, via)
+        return True
+
+    def remove_advertisement(self, adv_id: int) -> None:
+        self.advertisements.pop(adv_id, None)
+
+    def advertiser_interfaces(self, sub: Subscription) -> Set[Interface]:
+        """Interfaces leading toward sources whose adverts intersect ``sub``."""
+        return {
+            via
+            for adv, via in self.advertisements.values()
+            if via != LOCAL and adv.intersects(sub)
+        }
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def add_subscription(self, sub: Subscription, via: Interface) -> bool:
+        """Install ``sub`` for interface ``via``.
+
+        For neighbour interfaces, returns True if the table changed (i.e.
+        no existing subscription from the same interface already covers
+        the new one); covered older entries from the same interface are
+        pruned, keeping tables compact.  LOCAL entries represent distinct
+        subscribers and are therefore never covered away -- every local
+        subscriber must keep receiving its own deliveries.
+        """
+        entries = self.subscriptions.setdefault(via, [])
+        if via == LOCAL:
+            if any(e.sub_id == sub.sub_id for e in entries):
+                return False
+            entries.append(sub)
+            return True
+        for existing in entries:
+            if existing.covers(sub):
+                return False
+        entries[:] = [e for e in entries if not sub.covers(e)]
+        entries.append(sub)
+        return True
+
+    def remove_subscription(self, sub_id: int, via: Optional[Interface] = None) -> None:
+        ifaces = [via] if via is not None else list(self.subscriptions)
+        for iface in ifaces:
+            entries = self.subscriptions.get(iface)
+            if entries is None:
+                continue
+            entries[:] = [e for e in entries if e.sub_id != sub_id]
+            if not entries:
+                del self.subscriptions[iface]
+
+    def forwarding_interfaces(
+        self, event: Event, arrived_via: Optional[Interface] = None
+    ) -> Set[Interface]:
+        """Interfaces (incl. LOCAL) with at least one subscription matching."""
+        out: Set[Interface] = set()
+        for iface, entries in self.subscriptions.items():
+            if iface == arrived_via:
+                continue
+            if any(s.matches(event) for s in entries):
+                out.add(iface)
+        return out
+
+    def matching_local_subscriptions(self, event: Event) -> List[Subscription]:
+        return [s for s in self.subscriptions.get(LOCAL, []) if s.matches(event)]
+
+    def covered_upstream(self, sub: Subscription, toward: Interface) -> bool:
+        """Whether a subscription already forwarded from any *other*
+        interface covers ``sub`` -- in a tree, any subscription recorded at
+        this broker from interface ``i`` has been propagated to all other
+        neighbours, so a covering entry from a different interface than
+        ``toward`` means the upstream broker at ``toward`` already knows a
+        covering subscription."""
+        for iface, entries in self.subscriptions.items():
+            if iface == toward:
+                continue
+            if any(e.covers(sub) and e.sub_id != sub.sub_id for e in entries):
+                return True
+        return False
+
+    def size(self) -> int:
+        return sum(len(v) for v in self.subscriptions.values())

@@ -1,0 +1,201 @@
+"""AST for the CQL subset used throughout the paper's examples.
+
+The paper writes queries in "an SQL-like language similar to CQL":
+
+    SELECT <projection list>
+    FROM Stream1 [window] Alias1, Stream2 [window] Alias2
+    WHERE <conjunction of predicates>
+
+Windows are ``[Now]``, ``[Range N <unit>]`` or ``[Rows N]``.  Predicates
+are comparisons between attribute references and constants (selections)
+or between two attribute references (join predicates, e.g.
+``S1.snowHeight > S2.snowHeight`` or the timestamp band joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Window",
+    "NOW",
+    "AttrRef",
+    "Literal",
+    "Comparison",
+    "StreamBinding",
+    "SelectItem",
+    "Query",
+]
+
+
+@dataclass(frozen=True)
+class Window:
+    """A sliding window: time-based (seconds) or row-based.
+
+    ``Window(seconds=0)`` is CQL's ``[Now]``; ``Window(rows=n)`` keeps the
+    last n rows.  Exactly one of ``seconds``/``rows`` is set.
+    """
+
+    seconds: Optional[float] = None
+    rows: Optional[int] = None
+
+    def __post_init__(self):
+        if (self.seconds is None) == (self.rows is None):
+            raise ValueError("window must be either time-based or row-based")
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError("negative time window")
+        if self.rows is not None and self.rows <= 0:
+            raise ValueError("row window must be positive")
+
+    @property
+    def is_time(self) -> bool:
+        return self.seconds is not None
+
+    def contains(self, other: "Window") -> bool:
+        """Window dominance: every tuple visible in ``other`` is visible
+        in ``self`` (needed for query containment)."""
+        if self.is_time and other.is_time:
+            return self.seconds >= other.seconds
+        if not self.is_time and not other.is_time:
+            return self.rows >= other.rows
+        return False
+
+    def __str__(self) -> str:
+        if self.is_time:
+            return "[Now]" if self.seconds == 0 else f"[Range {self.seconds} Seconds]"
+        return f"[Rows {self.rows}]"
+
+
+#: CQL's ``[Now]`` window.
+NOW = Window(seconds=0)
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A qualified attribute reference ``Alias.attr``."""
+
+    stream: str  # alias
+    attr: str
+
+    def __str__(self) -> str:
+        return f"{self.stream}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Union[int, float, str]
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[AttrRef, Literal]
+
+_NEGATIONS = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_FLIPS = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left OP right`` with OP in == != < <= > >=."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self):
+        if self.op not in _FLIPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def is_selection(self) -> bool:
+        """Attribute vs constant."""
+        return isinstance(self.left, AttrRef) != isinstance(self.right, AttrRef)
+
+    def is_join(self) -> bool:
+        """Attribute vs attribute over two different aliases."""
+        return (
+            isinstance(self.left, AttrRef)
+            and isinstance(self.right, AttrRef)
+            and self.left.stream != self.right.stream
+        )
+
+    def normalised(self) -> "Comparison":
+        """Selection predicates with the attribute on the left."""
+        if isinstance(self.right, AttrRef) and isinstance(self.left, Literal):
+            return Comparison(self.right, _FLIPS[self.op], self.left)
+        return self
+
+    def flipped(self) -> "Comparison":
+        return Comparison(self.right, _FLIPS[self.op], self.left)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class StreamBinding:
+    """One FROM-clause entry: stream name, window, alias."""
+
+    stream: str
+    window: Window
+    alias: str
+
+    def __str__(self) -> str:
+        return f"{self.stream} {self.window} {self.alias}"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """Either ``Alias.*`` (``attr is None``) or ``Alias.attr``."""
+
+    stream: str
+    attr: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.stream}.{self.attr or '*'}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed continuous query."""
+
+    select: Tuple[SelectItem, ...]
+    bindings: Tuple[StreamBinding, ...]
+    where: Tuple[Comparison, ...] = ()
+    name: str = ""
+
+    def binding(self, alias: str) -> StreamBinding:
+        for b in self.bindings:
+            if b.alias == alias:
+                return b
+        raise KeyError(f"unknown alias {alias!r}")
+
+    def aliases(self) -> List[str]:
+        return [b.alias for b in self.bindings]
+
+    def streams(self) -> List[str]:
+        return [b.stream for b in self.bindings]
+
+    def selections(self) -> List[Comparison]:
+        return [c.normalised() for c in self.where if c.is_selection()]
+
+    def joins(self) -> List[Comparison]:
+        return [c for c in self.where if c.is_join()]
+
+    def selects_all(self, alias: str) -> bool:
+        return any(s.stream == alias and s.attr is None for s in self.select)
+
+    def projected_attrs(self, alias: str) -> Optional[List[str]]:
+        """Attributes of ``alias`` in the SELECT list; None means all."""
+        if self.selects_all(alias):
+            return None
+        return [s.attr for s in self.select if s.stream == alias and s.attr]
+
+    def __str__(self) -> str:
+        sel = ", ".join(str(s) for s in self.select)
+        frm = ", ".join(str(b) for b in self.bindings)
+        out = f"SELECT {sel} FROM {frm}"
+        if self.where:
+            out += " WHERE " + " AND ".join(str(c) for c in self.where)
+        return out

@@ -1,0 +1,150 @@
+"""Window-based query containment and equivalence (Section 2.1).
+
+The paper extends classic conjunctive-query containment to continuous
+window queries so that a processor can run one merged superset query and
+let users carve their results out of its result stream.  Query ``Q`` is
+contained in ``Q'`` (every result tuple of Q is derivable from Q' results)
+when, after aligning the two queries' stream bindings:
+
+1. **windows dominate** -- each window of Q' contains the corresponding
+   window of Q (a ``[Range 1 Hour]`` window sees every pairing a
+   ``[Range 30 Minutes]`` window sees);
+2. **predicates imply** -- Q's selection predicates imply Q's share of
+   Q's own filter, i.e. every selection of Q' is implied by Q's
+   selections, and the join predicates of the two queries are identical
+   (we do not attempt join-predicate weakening);
+3. **projections cover** -- Q' outputs every attribute Q outputs (plus
+   whatever Q's split subscription needs to re-apply Q's residual
+   filters and window constraint).
+
+These are sufficient (not complete) conditions -- the standard practical
+trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..pubsub.predicates import AttributeRange, Constraint, Filter
+from .ast import AttrRef, Comparison, Literal, Query, SelectItem, StreamBinding
+
+__all__ = [
+    "selection_filter",
+    "selections_imply",
+    "contains",
+    "equivalent",
+    "align_bindings",
+]
+
+
+def selection_filter(query: Query, alias: Optional[str] = None) -> Filter:
+    """The conjunction of a query's selection predicates as a pub/sub
+    :class:`~repro.pubsub.predicates.Filter` over ``Alias.attr`` names."""
+    constraints = []
+    for c in query.selections():
+        if alias is not None and isinstance(c.left, AttrRef) and c.left.stream != alias:
+            continue
+        attr = str(c.left)
+        if not isinstance(c.right, Literal):
+            continue
+        constraints.append(Constraint(attr, c.op, c.right.value))
+    return Filter(constraints)
+
+
+def selections_imply(stronger: Query, weaker: Query) -> bool:
+    """Whether ``stronger``'s selections imply ``weaker``'s.
+
+    Implication over conjunctions of attribute/constant comparisons is
+    exactly filter covering with the roles swapped: the *weaker* filter
+    must cover the *stronger* one.
+    """
+    return selection_filter(weaker).covers(selection_filter(stronger))
+
+
+def align_bindings(a: Query, b: Query) -> Optional[List[Tuple[StreamBinding, StreamBinding]]]:
+    """Match the two queries' FROM clauses stream-by-stream.
+
+    Returns aligned ``(a_binding, b_binding)`` pairs, or None when the
+    queries read different stream sets (in which case neither contains
+    the other).  Alignment requires equal aliases to keep predicate
+    comparison sound (the paper's examples share aliases S1/S2).
+    """
+    if len(a.bindings) != len(b.bindings):
+        return None
+    pairs: List[Tuple[StreamBinding, StreamBinding]] = []
+    used = set()
+    for ba in a.bindings:
+        match = None
+        for bb in b.bindings:
+            if bb.alias in used:
+                continue
+            if bb.stream == ba.stream and bb.alias == ba.alias:
+                match = bb
+                break
+        if match is None:
+            return None
+        used.add(match.alias)
+        pairs.append((ba, match))
+    return pairs
+
+
+def _join_set(q: Query) -> set:
+    """Canonicalised join predicates (orientation-insensitive)."""
+    out = set()
+    for c in q.joins():
+        canon = min(
+            (str(c.left), c.op, str(c.right)),
+            (str(c.flipped().left), c.flipped().op, str(c.flipped().right)),
+        )
+        out.add(canon)
+    return out
+
+
+def contains(superset: Query, subset: Query) -> bool:
+    """``subset``'s results are derivable from ``superset``'s result stream.
+
+    Sufficient conditions: aligned bindings with dominating windows,
+    identical join predicates, implied selections, covering projections.
+    """
+    pairs = align_bindings(superset, subset)
+    if pairs is None:
+        return False
+    for sup_binding, sub_binding in pairs:
+        if not sup_binding.window.contains(sub_binding.window):
+            return False
+    if _join_set(superset) != _join_set(subset):
+        return False
+    if not selections_imply(subset, superset):
+        return False
+    # projection covering: superset must output everything subset outputs,
+    # plus the attributes subset's *residual* filters need -- i.e. the
+    # selection predicates the superset does not already enforce.  Window
+    # re-checks ride on the per-alias ``timestamp_lag`` attributes, which
+    # the engine always carries through projections.
+    sup_filter = selection_filter(superset)
+    for alias in (b.alias for b in subset.bindings):
+        needed = subset.projected_attrs(alias)
+        provided = superset.projected_attrs(alias)
+        if provided is None:
+            continue
+        if needed is None:
+            return False  # subset wants Alias.*, superset projects a subset
+        if not set(needed) <= set(provided):
+            return False
+        residual = set()
+        for c in subset.selections():
+            if not isinstance(c.left, AttrRef) or c.left.stream != alias:
+                continue
+            if not isinstance(c.right, Literal):
+                continue
+            single = Filter([Constraint(str(c.left), c.op, c.right.value)])
+            if not single.covers(sup_filter):
+                residual.add(c.left.attr)
+        if not residual <= set(provided):
+            return False
+    return True
+
+
+def equivalent(a: Query, b: Query) -> bool:
+    """Mutual containment."""
+    return contains(a, b) and contains(b, a)

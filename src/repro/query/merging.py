@@ -1,0 +1,218 @@
+"""Result-stream sharing: merged superset queries and split subscriptions.
+
+Section 2.1 of the paper: when several queries with overlapping results
+run at one processor, COSMOS composes a single query ``Q`` whose result is
+a superset of all of them, runs only ``Q``, and gives every user a
+pub/sub subscription that carves its own result out of ``Q``'s result
+stream -- re-applying the residual selection predicates, the window
+constraint (as a timestamp band) and the projection.
+
+``merge_queries(Q3, Q4)`` reproduces the paper's ``Q5``;
+``split_subscription(Q5, Q3, s5)`` reproduces ``p^3_2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..pubsub.predicates import Constraint, Filter
+from ..pubsub.subscriptions import Subscription
+from .ast import (
+    AttrRef,
+    Comparison,
+    Literal,
+    Query,
+    SelectItem,
+    StreamBinding,
+    Window,
+)
+from .containment import align_bindings, contains, selection_filter
+
+__all__ = ["merge_queries", "split_subscription", "mergeable", "SharedGroup"]
+
+
+def mergeable(a: Query, b: Query) -> bool:
+    """Whether a useful superset query exists for ``a`` and ``b``.
+
+    Requires aligned bindings (same streams and aliases, any windows) and
+    identical join predicates -- the same preconditions containment uses,
+    minus the window/selection/projection dominance (the merger weakens
+    those).
+    """
+    if align_bindings(a, b) is None:
+        return False
+    from .containment import _join_set
+
+    return _join_set(a) == _join_set(b)
+
+
+def _window_hull(a: Window, b: Window) -> Window:
+    if a.is_time and b.is_time:
+        return a if a.seconds >= b.seconds else b
+    if not a.is_time and not b.is_time:
+        return a if a.rows >= b.rows else b
+    # mixed windows: fall back to the time window (row windows cannot be
+    # reconstructed from a time superset in general, so callers should
+    # check `mergeable` + containment before trusting mixed merges)
+    return a if a.is_time else b
+
+
+def _selection_hull(a: Query, b: Query, alias: str) -> List[Comparison]:
+    """Per-alias predicate hull: keep only constraints implied by BOTH."""
+    fa = selection_filter(a, alias)
+    fb = selection_filter(b, alias)
+    hull = fa.hull(fb)
+    out: List[Comparison] = []
+    for attr, rng in hull.ranges().items():
+        _, attrname = attr.split(".", 1)
+        if rng.membership is not None:
+            for v in sorted(rng.membership, key=str):
+                out.append(Comparison(AttrRef(alias, attrname), "==", Literal(v)))
+            continue
+        if rng.low != float("-inf"):
+            op = ">=" if rng.low_inclusive else ">"
+            out.append(Comparison(AttrRef(alias, attrname), op, Literal(rng.low)))
+        if rng.high != float("inf"):
+            op = "<=" if rng.high_inclusive else "<"
+            out.append(Comparison(AttrRef(alias, attrname), op, Literal(rng.high)))
+    return out
+
+
+def merge_queries(a: Query, b: Query, name: str = "") -> Query:
+    """The superset query covering ``a`` and ``b`` (the paper's Q5).
+
+    * windows: per-binding hull (the larger window);
+    * selections: per-attribute hull (constraints both queries imply);
+    * join predicates: shared (identical by precondition);
+    * projection: union of the two queries' select lists, widened to
+      ``Alias.*`` when either side asks for it, and always including
+      timestamps (needed by the split subscriptions).
+    """
+    if not mergeable(a, b):
+        raise ValueError("queries are not mergeable (streams/joins differ)")
+    pairs = align_bindings(a, b)
+    assert pairs is not None
+    bindings = tuple(
+        StreamBinding(
+            stream=ba.stream,
+            window=_window_hull(ba.window, bb.window),
+            alias=ba.alias,
+        )
+        for ba, bb in pairs
+    )
+
+    select: List[SelectItem] = []
+    for ba, _ in pairs:
+        alias = ba.alias
+        pa = a.projected_attrs(alias)
+        pb = b.projected_attrs(alias)
+        if pa is None or pb is None:
+            select.append(SelectItem(alias, None))
+            continue
+        merged_attrs = sorted(set(pa) | set(pb) | {"timestamp"})
+        select.extend(SelectItem(alias, attr) for attr in merged_attrs)
+
+    where: List[Comparison] = []
+    for ba, _ in pairs:
+        where.extend(_selection_hull(a, b, ba.alias))
+    where.extend(a.joins())
+    return Query(
+        select=tuple(select), bindings=bindings, where=tuple(where), name=name
+    )
+
+
+def split_subscription(
+    merged: Query, original: Query, result_stream: str
+) -> Subscription:
+    """The subscription a user inserts to get ``original``'s results out of
+    ``merged``'s result stream (the paper's p^3_2 / p^4_2).
+
+    Contains:
+
+    * S  -- the merged result stream name;
+    * P  -- the original query's projected (qualified) attributes;
+    * F  -- the original residual selections plus, per non-``[Now]``
+      binding, the window constraint as a timestamp band
+      ``-W <= Alias.timestamp - Anchor.timestamp <= 0`` encoded against
+      the merged stream's top-level timestamp.
+    """
+    if not contains(merged, original):
+        raise ValueError("merged query does not contain the original")
+
+    projection: Optional[List[str]] = []
+    for b in original.bindings:
+        attrs = original.projected_attrs(b.alias)
+        if attrs is None:
+            merged_attrs = merged.projected_attrs(b.alias)
+            if merged_attrs is None:
+                projection = None
+                break
+            attrs = merged_attrs
+        projection.extend(f"{b.alias}.{attr}" for attr in attrs)
+
+    constraints: List[Constraint] = []
+    for c in original.selections():
+        assert isinstance(c.left, AttrRef)
+        if isinstance(c.right, Literal):
+            constraints.append(Constraint(str(c.left), c.op, c.right.value))
+    # window bands: tuples in the merged result carry per-alias timestamps;
+    # the newest side anchors at the result timestamp, so the partner's
+    # timestamp must lie within the original (smaller) window.
+    for b in original.bindings:
+        mb = merged.binding(b.alias)
+        if b.window.is_time and mb.window.is_time:
+            if mb.window.seconds > b.window.seconds:
+                constraints.append(
+                    Constraint(
+                        f"{b.alias}.timestamp_lag", "<=", float(b.window.seconds)
+                    )
+                )
+    return Subscription.to_streams(
+        [result_stream],
+        projection=projection,
+        filter=Filter(constraints),
+    )
+
+
+class SharedGroup:
+    """Bookkeeping for result sharing at one processor.
+
+    Greedy pairwise merging: queries are added one by one; each new query
+    merges into the first group it is mergeable with, and the group's
+    superset query is recomputed.
+    """
+
+    def __init__(self, processor: int):
+        self.processor = processor
+        #: list of (merged query, member originals)
+        self.groups: List[Tuple[Query, List[Query]]] = []
+
+    def add(self, query: Query) -> Query:
+        """Add a query; returns the (possibly merged) query to execute."""
+        for i, (merged, members) in enumerate(self.groups):
+            if mergeable(merged, query):
+                new_merged = merge_queries(
+                    merged, query, name=f"shared_{self.processor}_{i}"
+                )
+                members.append(query)
+                self.groups[i] = (new_merged, members)
+                return new_merged
+        self.groups.append((query, [query]))
+        return query
+
+    def executed_queries(self) -> List[Query]:
+        return [merged for merged, _ in self.groups]
+
+    def subscriptions(self, stream_namer) -> List[Tuple[Query, Subscription]]:
+        """Per original query: its split subscription.
+
+        ``stream_namer(group_index)`` names each merged result stream.
+        """
+        out: List[Tuple[Query, Subscription]] = []
+        for i, (merged, members) in enumerate(self.groups):
+            stream = stream_namer(i)
+            for original in members:
+                out.append(
+                    (original, split_subscription(merged, original, stream))
+                )
+        return out

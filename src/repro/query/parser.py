@@ -1,0 +1,255 @@
+"""Recursive-descent parser for the paper's CQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list FROM binding_list [WHERE predicates]
+    select_list:= select_item ("," select_item)*
+    select_item:= "*" | alias "." "*" | alias "." attr
+    binding    := stream window [alias]
+    window     := "[" "Now" "]"
+                | "[" "Range" number unit "]"
+                | "[" "Rows" integer "]"
+    unit       := Second(s) | Minute(s) | Hour(s) | Day(s)
+    predicates := comparison (AND comparison)*
+    comparison := operand op operand
+    op         := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    operand    := alias "." attr | number | quoted string
+
+This covers Q1-Q5 of the paper verbatim (modulo whitespace).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from .ast import (
+    AttrRef,
+    Comparison,
+    Literal,
+    NOW,
+    Query,
+    SelectItem,
+    StreamBinding,
+    Window,
+)
+
+__all__ = ["parse_query", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<op><=|>=|==|!=|<>|<|>|=)
+      | (?P<punct>[\[\],.()*])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_UNIT_SECONDS = {
+    "second": 1.0,
+    "seconds": 1.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+    "day": 86400.0,
+    "days": 86400.0,
+}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character at {text[pos:pos + 10]!r}")
+        pos = m.end()
+        for kind in ("number", "string", "op", "punct", "word"):
+            value = m.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of query")
+        self.i += 1
+        return tok
+
+    def expect_word(self, word: str) -> None:
+        kind, value = self.next()
+        if kind != "word" or value.lower() != word.lower():
+            raise ParseError(f"expected {word!r}, got {value!r}")
+
+    def expect_punct(self, punct: str) -> None:
+        kind, value = self.next()
+        if kind != "punct" or value != punct:
+            raise ParseError(f"expected {punct!r}, got {value!r}")
+
+    def at_word(self, word: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[0] == "word" and tok[1].lower() == word.lower()
+
+    def at_punct(self, punct: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[0] == "punct" and tok[1] == punct
+
+    # -- grammar -------------------------------------------------------
+    def query(self, name: str) -> Query:
+        self.expect_word("select")
+        select = self.select_list()
+        self.expect_word("from")
+        bindings = self.binding_list()
+        where: Tuple[Comparison, ...] = ()
+        if self.at_word("where"):
+            self.next()
+            where = tuple(self.predicates())
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens at {self.peek()!r}")
+        aliases = [b.alias for b in bindings]
+        if len(set(aliases)) != len(aliases):
+            raise ParseError("duplicate aliases in FROM clause")
+        # expand bare '*' into one item per alias
+        expanded: List[SelectItem] = []
+        for item in select:
+            if item.stream == "*":
+                expanded.extend(SelectItem(a, None) for a in aliases)
+            else:
+                expanded.append(item)
+        for item in expanded:
+            if item.stream not in aliases:
+                raise ParseError(f"SELECT references unknown alias {item.stream!r}")
+        return Query(
+            select=tuple(expanded), bindings=tuple(bindings), where=where, name=name
+        )
+
+    def select_list(self) -> List[SelectItem]:
+        items = [self.select_item()]
+        while self.at_punct(","):
+            self.next()
+            items.append(self.select_item())
+        return items
+
+    def select_item(self) -> SelectItem:
+        if self.at_punct("*"):
+            self.next()
+            return SelectItem("*", None)
+        kind, alias = self.next()
+        if kind != "word":
+            raise ParseError(f"expected alias in SELECT, got {alias!r}")
+        self.expect_punct(".")
+        if self.at_punct("*"):
+            self.next()
+            return SelectItem(alias, None)
+        kind, attr = self.next()
+        if kind != "word":
+            raise ParseError(f"expected attribute after {alias}., got {attr!r}")
+        return SelectItem(alias, attr)
+
+    def binding_list(self) -> List[StreamBinding]:
+        out = [self.binding()]
+        while self.at_punct(","):
+            self.next()
+            out.append(self.binding())
+        return out
+
+    def binding(self) -> StreamBinding:
+        kind, stream = self.next()
+        if kind != "word":
+            raise ParseError(f"expected stream name, got {stream!r}")
+        window = self.window()
+        alias = stream
+        tok = self.peek()
+        if tok is not None and tok[0] == "word" and tok[1].lower() not in (
+            "where", "and",
+        ):
+            alias = self.next()[1]
+        return StreamBinding(stream=stream, window=window, alias=alias)
+
+    def window(self) -> Window:
+        self.expect_punct("[")
+        kind, word = self.next()
+        if kind != "word":
+            raise ParseError(f"expected window spec, got {word!r}")
+        word_l = word.lower()
+        if word_l == "now":
+            self.expect_punct("]")
+            return NOW
+        if word_l == "range":
+            kind, num = self.next()
+            if kind != "number":
+                raise ParseError(f"expected number in Range window, got {num!r}")
+            kind, unit = self.next()
+            if kind != "word" or unit.lower() not in _UNIT_SECONDS:
+                raise ParseError(f"unknown time unit {unit!r}")
+            self.expect_punct("]")
+            return Window(seconds=float(num) * _UNIT_SECONDS[unit.lower()])
+        if word_l == "rows":
+            kind, num = self.next()
+            if kind != "number" or "." in num:
+                raise ParseError(f"expected integer in Rows window, got {num!r}")
+            self.expect_punct("]")
+            return Window(rows=int(num))
+        raise ParseError(f"unknown window type {word!r}")
+
+    def predicates(self) -> List[Comparison]:
+        out = [self.comparison()]
+        while self.at_word("and"):
+            self.next()
+            out.append(self.comparison())
+        return out
+
+    def comparison(self) -> Comparison:
+        left = self.operand()
+        kind, op = self.next()
+        if kind != "op":
+            raise ParseError(f"expected comparison operator, got {op!r}")
+        if op == "=":
+            op = "=="
+        elif op == "<>":
+            op = "!="
+        right = self.operand()
+        return Comparison(left, op, right)
+
+    def operand(self):
+        kind, value = self.next()
+        if kind == "number":
+            return Literal(float(value) if "." in value else int(value))
+        if kind == "string":
+            return Literal(value[1:-1])
+        if kind == "word":
+            self.expect_punct(".")
+            kind2, attr = self.next()
+            if kind2 != "word":
+                raise ParseError(f"expected attribute after {value}., got {attr!r}")
+            return AttrRef(value, attr)
+        raise ParseError(f"unexpected operand {value!r}")
+
+
+def parse_query(text: str, name: str = "") -> Query:
+    """Parse one CQL query; raises :class:`ParseError` on bad input."""
+    return _Parser(_tokenize(text)).query(name)

@@ -1,0 +1,5 @@
+"""Simulation runtime and metrics."""
+
+from .metrics import CostModel, RootedOverlay, load_stddev
+
+__all__ = ["CostModel", "RootedOverlay", "load_stddev"]

@@ -1,0 +1,169 @@
+"""Evaluation metrics (Section 4).
+
+The paper reports two system-level metrics:
+
+* **weighted communication cost** -- per-unit-time traffic x latency,
+  summed over links.  We measure it on the pub/sub overlay: every
+  substream is multicast from its source to the set of processors hosting
+  at least one interested query (each overlay link carries the substream
+  at most once -- the sharing COSMOS exploits), and every query's result
+  stream travels from its host to its proxy.  Result delivery from a proxy
+  to its local user is identical under every scheme and is excluded, as in
+  the paper.
+* **load standard deviation** -- stddev of per-processor query load
+  (normalised by capability), the load-balance indicator of Figures 7-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..query.interest import SubstreamSpace, iter_bits
+from ..query.workload import QuerySpec
+from ..topology.overlay import OverlayTree
+
+__all__ = ["RootedOverlay", "CostModel", "load_stddev"]
+
+
+class RootedOverlay:
+    """An overlay tree rooted once for fast path/multicast queries."""
+
+    def __init__(self, tree: OverlayTree):
+        self.tree = tree
+        root = tree.nodes[0]
+        self.parent: Dict[int, int] = {root: root}
+        self.depth: Dict[int, int] = {root: 0}
+        self.up_latency: Dict[int, float] = {root: 0.0}
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v, lat in tree.neighbors(u).items():
+                if v not in self.parent:
+                    self.parent[v] = u
+                    self.depth[v] = self.depth[u] + 1
+                    self.up_latency[v] = lat
+                    stack.append(v)
+
+    def path_edges(self, u: int, v: int) -> List[int]:
+        """Edges on the tree path, each identified by its lower endpoint
+        (the child side of the parent link)."""
+        edges: List[int] = []
+        a, b = u, v
+        while a != b:
+            if self.depth[a] >= self.depth[b]:
+                edges.append(a)
+                a = self.parent[a]
+            else:
+                edges.append(b)
+                b = self.parent[b]
+        return edges
+
+    def path_latency(self, u: int, v: int) -> float:
+        return sum(self.up_latency[e] for e in self.path_edges(u, v))
+
+    def multicast_cost(self, source: int, sinks: Iterable[int]) -> float:
+        """Latency-weighted size of the multicast edge union."""
+        used: set = set()
+        for sink in set(sinks):
+            if sink == source:
+                continue
+            used.update(self.path_edges(source, sink))
+        return sum(self.up_latency[e] for e in used)
+
+
+@dataclass
+class CostModel:
+    """Measures weighted communication cost of a placement.
+
+    Two accounting modes:
+
+    * ``"unicast"`` (default) -- each substream travels once per *distinct
+      hosting processor* over the shortest topology path (co-location is
+      the only sharing).  This matches the paper's link-level metric on a
+      large WAN, where paths from a source to scattered processors share
+      few links.
+    * ``"multicast"`` -- each substream is multicast over the pub/sub
+      overlay tree, each tree link carrying it at most once.  This is the
+      exact pub/sub data plane; on small overlays path sharing compresses
+      the differences between schemes.
+    """
+
+    overlay: Optional[RootedOverlay]
+    space: SubstreamSpace
+    distance: Optional[object] = None  # LatencyOracle-like callable
+
+    @classmethod
+    def over(
+        cls,
+        tree: Optional[OverlayTree],
+        space: SubstreamSpace,
+        distance=None,
+    ) -> "CostModel":
+        return cls(
+            overlay=RootedOverlay(tree) if tree is not None else None,
+            space=space,
+            distance=distance,
+        )
+
+    def weighted_cost(
+        self,
+        placement: Dict[int, int],
+        queries: Sequence[QuerySpec],
+        mode: str = "unicast",
+    ) -> float:
+        """Source delivery cost + result delivery cost of a placement."""
+        if mode not in ("unicast", "multicast"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "unicast" and self.distance is None:
+            raise ValueError("unicast mode needs a distance oracle")
+        if mode == "multicast" and self.overlay is None:
+            raise ValueError("multicast mode needs an overlay tree")
+
+        interested: Dict[int, set] = {}
+        for q in queries:
+            host = placement[q.query_id]
+            for sid in iter_bits(q.mask):
+                interested.setdefault(sid, set()).add(host)
+
+        total = 0.0
+        if mode == "multicast":
+            for sid, hosts in interested.items():
+                source = int(self.space.source_of[sid])
+                total += float(self.space.rates[sid]) * self.overlay.multicast_cost(
+                    source, hosts
+                )
+        else:
+            for sid, hosts in interested.items():
+                source = int(self.space.source_of[sid])
+                rate = float(self.space.rates[sid])
+                for host in hosts:
+                    total += rate * self.distance(source, host)
+
+        for q in queries:
+            host = placement[q.query_id]
+            if host != q.proxy:
+                if mode == "multicast":
+                    total += q.result_rate * self.overlay.path_latency(host, q.proxy)
+                else:
+                    total += q.result_rate * self.distance(host, q.proxy)
+        return total
+
+
+def load_stddev(
+    placement: Dict[int, int],
+    queries: Sequence[QuerySpec],
+    processors: Sequence[int],
+    capabilities: Optional[Dict[int, float]] = None,
+) -> float:
+    """Standard deviation of per-processor load (capability-normalised)."""
+    capabilities = capabilities or {}
+    loads = {p: 0.0 for p in processors}
+    for q in queries:
+        loads[placement[q.query_id]] += q.load
+    values = [
+        loads[p] / capabilities.get(p, 1.0) for p in processors
+    ]
+    return float(np.std(values))

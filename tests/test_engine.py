@@ -1,0 +1,240 @@
+"""Tests for the continuous-query engine and result-stream sharing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Engine, SensorFleet, SlidingWindow, StreamTuple
+from repro.pubsub import Event
+from repro.query.ast import Window
+from repro.query.merging import merge_queries, split_subscription
+from repro.query.parser import parse_query
+
+
+def tup(stream, ts, **values):
+    values["timestamp"] = ts
+    return StreamTuple(stream, values)
+
+
+class TestSlidingWindow:
+    def test_time_window_evicts(self):
+        w = SlidingWindow(Window(seconds=10))
+        w.insert(tup("R", 0, a=1))
+        w.insert(tup("R", 15, a=2))
+        w.insert(tup("R", 20, a=3))
+        assert [t.get("a") for t in w.contents()] == [2, 3]
+
+    def test_now_window_keeps_current_instant(self):
+        w = SlidingWindow(Window(seconds=0))
+        w.insert(tup("R", 1, a=1))
+        w.insert(tup("R", 1, a=2))
+        assert len(w.contents(now=1)) == 2
+        assert len(w.contents(now=2)) == 0
+
+    def test_row_window(self):
+        w = SlidingWindow(Window(rows=2))
+        for i in range(5):
+            w.insert(tup("R", i, a=i))
+        assert [t.get("a") for t in w.contents()] == [3, 4]
+
+    def test_out_of_order_rejected(self):
+        w = SlidingWindow(Window(seconds=10))
+        w.insert(tup("R", 5))
+        with pytest.raises(ValueError):
+            w.insert(tup("R", 4))
+
+
+class TestSingleStreamQueries:
+    def test_selection(self):
+        e = Engine()
+        e.add_query(parse_query(
+            "SELECT R.a, R.timestamp FROM R [Now] WHERE R.a > 10", name="q"))
+        e.push(tup("R", 1, a=5))
+        e.push(tup("R", 2, a=15))
+        assert len(e.results["q"]) == 1
+        assert e.results["q"][0].get("R.a") == 15
+
+    def test_projection(self):
+        e = Engine()
+        e.add_query(parse_query(
+            "SELECT R.a FROM R [Now]", name="q"))
+        e.push(tup("R", 1, a=5, b=7))
+        out = e.results["q"][0]
+        assert out.get("R.a") == 5
+        assert out.get("R.b") is None
+
+    def test_star_keeps_everything(self):
+        e = Engine()
+        e.add_query(parse_query("SELECT R.* FROM R [Now]", name="q"))
+        e.push(tup("R", 1, a=5, b=7))
+        out = e.results["q"][0]
+        assert out.get("R.a") == 5 and out.get("R.b") == 7
+
+
+class TestJoins:
+    def q(self, text, name="j"):
+        e = Engine()
+        e.add_query(parse_query(text, name=name))
+        return e
+
+    def test_band_join_matches_within_window(self):
+        e = self.q(
+            "SELECT * FROM R [Range 10 Seconds] R, S [Now] S"
+            " WHERE R.a = S.a"
+        )
+        e.push(tup("R", 0, a=1))
+        e.push(tup("S", 5, a=1))
+        assert len(e.results["j"]) == 1
+
+    def test_join_ignores_expired_partners(self):
+        e = self.q(
+            "SELECT * FROM R [Range 10 Seconds] R, S [Now] S"
+            " WHERE R.a = S.a"
+        )
+        e.push(tup("R", 0, a=1))
+        e.push(tup("S", 50, a=1))  # R tuple expired
+        assert e.results["j"] == []
+
+    def test_join_predicate_filters(self):
+        e = self.q(
+            "SELECT * FROM R [Range 10 Seconds] R, S [Now] S"
+            " WHERE R.a > S.a"
+        )
+        e.push(tup("R", 0, a=5))
+        e.push(tup("S", 1, a=3))
+        e.push(tup("S", 2, a=9))
+        assert len(e.results["j"]) == 1
+
+    def test_join_output_qualified(self):
+        e = self.q(
+            "SELECT * FROM R [Range 10 Seconds] R, S [Now] S WHERE R.a = S.a"
+        )
+        e.push(tup("R", 0, a=1, x=7))
+        e.push(tup("S", 1, a=1, y=8))
+        out = e.results["j"][0]
+        assert out.get("R.x") == 7 and out.get("S.y") == 8
+        assert out.get("R.timestamp_lag") == 1.0
+        assert out.get("S.timestamp_lag") == 0.0
+
+    def test_selection_pushdown_before_join(self):
+        e = self.q(
+            "SELECT * FROM R [Range 100 Seconds] R, S [Now] S"
+            " WHERE R.a = S.a AND R.a > 10"
+        )
+        plan = e.plans["j"]
+        e.push(tup("R", 0, a=5))   # filtered before the join window
+        assert plan.join.state_size() == 0
+        e.push(tup("R", 1, a=15))
+        assert plan.join.state_size() == 1
+
+
+class TestEngineManagement:
+    def test_remove_query(self):
+        e = Engine()
+        e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q"))
+        e.remove_query("q")
+        e.push(tup("R", 1, a=5))
+        assert e.results["q"] == []
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Engine().remove_query("nope")
+
+    def test_duplicate_name_rejected(self):
+        e = Engine()
+        e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q"))
+        with pytest.raises(ValueError):
+            e.add_query(parse_query("SELECT R.b FROM R [Now]", name="q"))
+
+    def test_result_sink_callback(self):
+        e = Engine()
+        e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q"))
+        seen = []
+        e.on_result("q", seen.append)
+        e.push(tup("R", 1, a=5))
+        assert len(seen) == 1
+
+    def test_cpu_costs_accumulate(self):
+        e = Engine()
+        e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q"))
+        for i in range(10):
+            e.push(tup("R", i, a=i))
+        assert e.cpu_costs()["q"] >= 10
+
+
+class TestSensors:
+    def test_fleet_streams_unique(self):
+        fleet = SensorFleet.build(5, seed=1)
+        assert len(set(fleet.streams())) == 5
+
+    def test_trace_time_ordered_per_stream(self):
+        fleet = SensorFleet.build(3, seed=1)
+        trace = fleet.trace(start=0.0, steps=20)
+        last = {}
+        for t in trace:
+            assert t.timestamp >= last.get(t.stream, -1)
+            last[t.stream] = t.timestamp
+
+    def test_readings_have_expected_attributes(self):
+        fleet = SensorFleet.build(1, seed=1)
+        reading = fleet.stations[0].reading(0.0)
+        for attr in ("stationId", "snowHeight", "temperature", "windSpeed"):
+            assert reading.get(attr) is not None
+
+    def test_snow_height_nonnegative(self):
+        fleet = SensorFleet.build(2, seed=3)
+        for t in fleet.trace(0.0, 200):
+            assert t.get("snowHeight") >= 0
+
+    def test_deterministic(self):
+        a = SensorFleet.build(2, seed=5).trace(0.0, 10)
+        b = SensorFleet.build(2, seed=5).trace(0.0, 10)
+        assert [t.values for t in a] == [t.values for t in b]
+
+
+class TestResultSharing:
+    """End-to-end Section 2.1: running Q5 serves both Q3 and Q4."""
+
+    def setup_method(self):
+        self.q3 = parse_query(
+            "SELECT S2.* FROM Station1 [Range 30 Minutes] S1,"
+            " Station2 [Now] S2 WHERE S1.snowHeight > S2.snowHeight"
+            " AND S1.snowHeight >= 10",
+            name="Q3",
+        )
+        self.q4 = parse_query(
+            "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp"
+            " FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2"
+            " WHERE S1.snowHeight > S2.snowHeight",
+            name="Q4",
+        )
+        self.q5 = merge_queries(self.q3, self.q4, name="Q5")
+        fleet = SensorFleet.build(2, stream_prefix="Station", seed=7)
+        self.trace = fleet.trace(start=0.0, steps=100)
+
+    def _run(self, query, name):
+        e = Engine()
+        e.add_query(query, result_stream="out")
+        for t in self.trace:
+            e.push(t)
+        return e.results[query.name]
+
+    def test_carved_q3_equals_direct(self):
+        direct = self._run(self.q3, "Q3")
+        shared = self._run(self.q5, "Q5")
+        p32 = split_subscription(self.q5, self.q3, "out")
+        carved = [t for t in shared if p32.matches(Event("out", t.values))]
+        assert len(carved) == len(direct)
+
+    def test_carved_q4_equals_direct(self):
+        direct = self._run(self.q4, "Q4")
+        shared = self._run(self.q5, "Q5")
+        p42 = split_subscription(self.q5, self.q4, "out")
+        carved = [t for t in shared if p42.matches(Event("out", t.values))]
+        assert len(carved) == len(direct)
+
+    def test_shared_results_superset(self):
+        direct3 = self._run(self.q3, "Q3")
+        direct4 = self._run(self.q4, "Q4")
+        shared = self._run(self.q5, "Q5")
+        assert len(shared) >= max(len(direct3), len(direct4))

@@ -1,0 +1,207 @@
+"""Tests for the coordinator tree and the Cosmos middleware end to end."""
+
+import pytest
+
+from repro.core import Cosmos, CosmosConfig, build_coordinator_tree
+from repro.experiments.config import bench_scale, build_testbed
+from repro.query.workload import WorkloadParams, generate_workload
+from repro.topology import (
+    LatencyOracle,
+    TransitStubParams,
+    generate_transit_stub,
+    select_roles,
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    topo = generate_transit_stub(
+        TransitStubParams(transit_domains=2, transit_nodes=3,
+                          stubs_per_transit_node=3, stub_nodes=4),
+        seed=3,
+    )
+    oracle = LatencyOracle(topo)
+    sources, processors = select_roles(topo, 5, 16, seed=4)
+    workload = generate_workload(
+        WorkloadParams(num_substreams=800, num_queries=300,
+                       substreams_per_query=(10, 20)),
+        sources, processors, seed=5,
+    )
+    return topo, oracle, sources, processors, workload
+
+
+class TestCoordinatorTree:
+    def test_covers_all_processors(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=4)
+        assert sorted(tree.root.descendants()) == sorted(processors)
+
+    def test_leaf_cluster_sizes(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=4)
+        for leaf in tree.leaf_clusters():
+            assert 1 <= leaf.size() <= 3 * 4 - 1
+
+    def test_parent_is_median_of_members(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=4)
+        for leaf in tree.leaf_clusters():
+            assert leaf.coordinator == oracle.median(leaf.members)
+
+    def test_smaller_k_taller_tree(self, env):
+        _, oracle, _, processors, _ = env
+        t2 = build_coordinator_tree(processors, oracle, k=2)
+        t8 = build_coordinator_tree(processors, oracle, k=8)
+        assert t2.height() >= t8.height()
+
+    def test_levels_consistent(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=4)
+        levels = tree.levels()
+        assert levels[-1] == [tree.root]
+
+    def test_k_below_two_rejected(self, env):
+        _, oracle, _, processors, _ = env
+        with pytest.raises(ValueError):
+            build_coordinator_tree(processors, oracle, k=1)
+
+    def test_incremental_join(self, env):
+        topo, oracle, sources, processors, _ = env
+        tree = build_coordinator_tree(processors[:-1], oracle, k=4)
+        newcomer = processors[-1]
+        tree.join(newcomer)
+        assert newcomer in tree.root.descendants()
+
+    def test_join_splits_oversized_cluster(self, env):
+        topo, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors[:4], oracle, k=2)
+        for node in processors[4:12]:
+            tree.join(node)
+        for leaf in tree.leaf_clusters():
+            assert leaf.size() <= 3 * 2 - 1
+
+    def test_cluster_of_processor(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=4)
+        leaf = tree.cluster_of_processor(processors[0])
+        assert processors[0] in leaf.members
+
+
+class TestCosmosDistribution:
+    @pytest.fixture(scope="class")
+    def cosmos_env(self, env):
+        _, oracle, _, processors, workload = env
+        cosmos = Cosmos(
+            oracle, processors, workload.space,
+            CosmosConfig(k=4, vmax=40),
+        )
+        placement = cosmos.distribute(workload.queries)
+        return cosmos, placement, workload, processors
+
+    def test_every_query_placed(self, cosmos_env):
+        _, placement, workload, _ = cosmos_env
+        assert set(placement) == {q.query_id for q in workload.queries}
+
+    def test_placement_targets_are_processors(self, cosmos_env):
+        _, placement, _, processors = cosmos_env
+        assert set(placement.values()) <= set(processors)
+
+    def test_load_within_reasonable_bounds(self, cosmos_env):
+        _, placement, workload, processors = cosmos_env
+        loads = {p: 0.0 for p in processors}
+        for q in workload.queries:
+            loads[placement[q.query_id]] += q.load
+        mean = sum(loads.values()) / len(processors)
+        # hierarchical slack: each level allows alpha, so allow 2x mean
+        assert max(loads.values()) <= 2.0 * mean
+
+    def test_beats_naive_on_cost(self, env, cosmos_env):
+        from repro.baselines import naive_placement
+        from repro.sim import CostModel
+
+        _, oracle, _, _, _ = env
+        cosmos, placement, workload, processors = cosmos_env
+        cm = CostModel.over(None, workload.space, distance=oracle)
+        cost_cosmos = cm.weighted_cost(placement, workload.queries)
+        cost_naive = cm.weighted_cost(
+            naive_placement(workload.queries), workload.queries
+        )
+        # this fixture is deliberately tiny (300 queries, 16 processors),
+        # where sharing gains are marginal; the figure-scale comparison
+        # lives in benchmarks/bench_fig6.py.  Allow 5% tolerance here.
+        assert cost_cosmos < cost_naive * 1.05
+
+    def test_timers_populated(self, cosmos_env):
+        cosmos, _, _, _ = cosmos_env
+        assert cosmos.total_time() > 0
+        assert cosmos.response_time() <= cosmos.total_time() + 1e-9
+
+
+class TestCosmosInsertAdapt:
+    def test_insert_places_on_processor(self, env):
+        _, oracle, _, processors, workload = env
+        cosmos = Cosmos(oracle, processors, workload.space,
+                        CosmosConfig(k=4, vmax=40))
+        cosmos.distribute(workload.queries)
+        fresh = workload.new_queries(10, processors)
+        for q in fresh:
+            host = cosmos.insert(q)
+            assert host in processors
+            assert cosmos.placement[q.query_id] == host
+
+    def test_adapt_preserves_placement_completeness(self, env):
+        _, oracle, _, processors, workload = env
+        cosmos = Cosmos(oracle, processors, workload.space,
+                        CosmosConfig(k=4, vmax=40))
+        cosmos.distribute(workload.queries)
+        before = set(cosmos.placement)
+        report = cosmos.adapt()
+        assert set(cosmos.placement) == before
+        assert report.migrated_queries >= 0
+
+    def test_adopt_reproduces_given_placement(self, env):
+        _, oracle, _, processors, workload = env
+        from repro.baselines import random_placement
+
+        cosmos = Cosmos(oracle, processors, workload.space,
+                        CosmosConfig(k=4, vmax=40))
+        pl = random_placement(workload.queries, processors, seed=8)
+        cosmos.adopt(workload.queries, pl)
+        assert dict(cosmos.placement) == pl
+
+    def test_adapt_after_adopt_improves_cost(self, env):
+        from repro.baselines import random_placement
+        from repro.sim import CostModel
+
+        _, oracle, _, processors, workload = env
+        cosmos = Cosmos(oracle, processors, workload.space,
+                        CosmosConfig(k=4, vmax=40))
+        pl = random_placement(workload.queries, processors, seed=8)
+        cosmos.adopt(workload.queries, pl)
+        cm = CostModel.over(None, workload.space, distance=oracle)
+        before = cm.weighted_cost(pl, workload.queries)
+        for _ in range(3):
+            cosmos.adapt()
+        after = cm.weighted_cost(dict(cosmos.placement), workload.queries)
+        assert after < before
+
+    def test_refresh_statistics_updates_weights(self, env):
+        _, oracle, _, processors, workload = env
+        cosmos = Cosmos(oracle, processors, workload.space,
+                        CosmosConfig(k=4, vmax=40))
+        cosmos.distribute(workload.queries)
+        workload.space.perturb_rates(list(range(50)), 5.0)
+        cosmos.refresh_statistics(workload)
+        root_total = sum(v.weight for v in cosmos.root.vertices.values())
+        assert root_total == pytest.approx(
+            sum(q.load for q in workload.queries), rel=0.01
+        )
+        workload.space.perturb_rates(list(range(50)), 0.2)
+        cosmos.refresh_statistics(workload)
+
+    def test_single_processor_system(self, env):
+        _, oracle, _, processors, workload = env
+        cosmos = Cosmos(oracle, processors[:1], workload.space,
+                        CosmosConfig(k=4, vmax=40))
+        placement = cosmos.distribute(workload.queries[:20])
+        assert set(placement.values()) == {processors[0]}

@@ -1,0 +1,279 @@
+"""Tests for subscriptions, routing tables and end-to-end pub/sub routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pubsub import (
+    Advertisement,
+    Event,
+    Filter,
+    PubSubNetwork,
+    Subscription,
+    result_stream_name,
+)
+from repro.pubsub.routing import LOCAL, RoutingTable
+from repro.topology import OverlayTree
+
+
+def chain_tree(n):
+    """0 - 1 - 2 - ... - (n-1), unit latencies."""
+    tree = OverlayTree(nodes=list(range(n)))
+    for i in range(n - 1):
+        tree.add_link(i, i + 1, 1.0)
+    return tree
+
+
+def star_tree(n):
+    """0 in the centre."""
+    tree = OverlayTree(nodes=list(range(n)))
+    for i in range(1, n):
+        tree.add_link(0, i, 1.0)
+    return tree
+
+
+class TestSubscription:
+    def test_matches_stream_and_filter(self):
+        sub = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 10)))
+        assert sub.matches(Event("R", {"a": 11}))
+        assert not sub.matches(Event("R", {"a": 9}))
+        assert not sub.matches(Event("S", {"a": 11}))
+
+    def test_covering_requires_stream_superset(self):
+        s1 = Subscription.to_streams(["R", "S"])
+        s2 = Subscription.to_streams(["R"])
+        assert s1.covers(s2)
+        assert not s2.covers(s1)
+
+    def test_merge_covers_both(self):
+        s1 = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 10)))
+        s2 = Subscription.to_streams(["S"], filter=Filter.of(("a", ">", 20)))
+        m = s1.merge(s2)
+        assert m.covers(s1) and m.covers(s2)
+
+    def test_merge_projections(self):
+        s1 = Subscription.to_streams(["R"], projection=["x"])
+        s2 = Subscription.to_streams(["R"], projection=["y"])
+        assert s1.merge(s2).projection == frozenset({"x", "y"})
+
+    def test_merge_with_all_projection(self):
+        s1 = Subscription.to_streams(["R"], projection=["x"])
+        s2 = Subscription.to_streams(["R"])  # all attributes
+        assert s1.merge(s2).projection is None
+
+    def test_deliverable_projects(self):
+        sub = Subscription.to_streams(["R"], projection=["x"])
+        ev = sub.deliverable(Event("R", {"x": 1, "y": 2}, size=8))
+        assert dict(ev.attributes) == {"x": 1}
+        assert ev.size < 8
+
+    def test_advertisement_intersection(self):
+        adv = Advertisement(stream="R", filter=Filter.of(("a", ">=", 0)))
+        sub_hit = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 10)))
+        sub_miss = Subscription.to_streams(["R"], filter=Filter.of(("a", "<", -5)))
+        assert adv.intersects(sub_hit)
+        assert not adv.intersects(sub_miss)
+
+    def test_result_stream_name_unique_per_processor(self):
+        assert result_stream_name(1, "q") != result_stream_name(2, "q")
+
+
+class TestRoutingTable:
+    def test_covered_subscription_not_added(self):
+        t = RoutingTable(broker=0)
+        wide = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 0)))
+        narrow = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 5)))
+        assert t.add_subscription(wide, 1)
+        assert not t.add_subscription(narrow, 1)
+
+    def test_covering_subscription_prunes_covered(self):
+        t = RoutingTable(broker=0)
+        narrow = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 5)))
+        wide = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 0)))
+        t.add_subscription(narrow, 1)
+        t.add_subscription(wide, 1)
+        assert t.subscriptions[1] == [wide]
+
+    def test_local_subscribers_never_covered_away(self):
+        """Two distinct local subscribers with nested filters must both
+        stay in the table -- covering only optimises forwarding state."""
+        t = RoutingTable(broker=0)
+        wide = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 0)))
+        narrow = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 5)))
+        assert t.add_subscription(wide, LOCAL)
+        assert t.add_subscription(narrow, LOCAL)
+        assert t.size() == 2
+
+    def test_same_subscription_different_interfaces(self):
+        t = RoutingTable(broker=0)
+        sub = Subscription.to_streams(["R"])
+        assert t.add_subscription(sub, 1)
+        assert t.add_subscription(sub, 2)
+        assert t.size() == 2
+
+    def test_forwarding_excludes_arrival_interface(self):
+        t = RoutingTable(broker=0)
+        sub = Subscription.to_streams(["R"])
+        t.add_subscription(sub, 1)
+        ev = Event("R", {})
+        assert t.forwarding_interfaces(ev, arrived_via=1) == set()
+        assert t.forwarding_interfaces(ev, arrived_via=2) == {1}
+
+    def test_remove_subscription(self):
+        t = RoutingTable(broker=0)
+        sub = Subscription.to_streams(["R"])
+        t.add_subscription(sub, LOCAL)
+        t.remove_subscription(sub.sub_id)
+        assert t.size() == 0
+
+    def test_duplicate_advertisement_ignored(self):
+        t = RoutingTable(broker=0)
+        adv = Advertisement(stream="R")
+        assert t.add_advertisement(adv, 1)
+        assert not t.add_advertisement(adv, 2)
+
+
+class TestEndToEnd:
+    def setup_method(self):
+        self.tree = chain_tree(5)
+        self.net = PubSubNetwork(self.tree)
+        self.adv = Advertisement(stream="R", filter=Filter.of(("a", ">=", 0)))
+        self.net.advertise(0, self.adv)
+
+    def test_single_subscriber_delivery(self):
+        sub = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 10)))
+        self.net.subscribe(4, sub)
+        deliveries = self.net.publish(0, Event("R", {"a": 15}))
+        assert [(n, s.sub_id) for n, _, s in deliveries] == [(4, sub.sub_id)]
+
+    def test_non_matching_not_delivered(self):
+        sub = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 10)))
+        self.net.subscribe(4, sub)
+        assert self.net.publish(0, Event("R", {"a": 5})) == []
+
+    def test_exactly_once_per_subscriber(self):
+        subs = [
+            Subscription.to_streams(["R"], filter=Filter.of(("a", ">", i)))
+            for i in (5, 10)
+        ]
+        self.net.subscribe(4, subs[0])
+        self.net.subscribe(2, subs[1])
+        deliveries = self.net.publish(0, Event("R", {"a": 20}))
+        assert sorted(n for n, _, _ in deliveries) == [2, 4]
+
+    def test_link_crossed_at_most_once(self):
+        """Figure 2's multicast property: one message per link."""
+        for node in (2, 3, 4):
+            self.net.subscribe(
+                node, Subscription.to_streams(["R"])
+            )
+        self.net.reset_traffic()
+        self.net.publish(0, Event("R", {"a": 1}, size=10))
+        # chain 0-1-2-3-4, all links carry exactly one 10-byte message
+        assert all(v == 10 for v in self.net.link_bytes.values())
+        assert len(self.net.link_bytes) == 4
+
+    def test_early_filtering_stops_at_first_broker(self):
+        sub = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 10)))
+        self.net.subscribe(4, sub)
+        self.net.reset_traffic()
+        self.net.publish(0, Event("R", {"a": 5}))
+        assert self.net.total_data_bytes() == 0.0
+
+    def test_in_network_projection_shrinks_messages(self):
+        sub = Subscription.to_streams(["R"], projection=["a"])
+        self.net.subscribe(4, sub)
+        self.net.reset_traffic()
+        self.net.publish(0, Event("R", {"a": 1, "b": 2, "c": 3, "d": 4}, size=8))
+        # every link carries the projected (smaller) message
+        assert all(v < 8 for v in self.net.link_bytes.values())
+
+    def test_unsubscribe_stops_delivery(self):
+        sub = Subscription.to_streams(["R"])
+        self.net.subscribe(4, sub)
+        self.net.unsubscribe(sub.sub_id)
+        assert self.net.publish(0, Event("R", {"a": 1})) == []
+
+    def test_covering_prevents_duplicate_propagation(self):
+        wide = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 0)))
+        narrow = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", 10)))
+        self.net.subscribe(4, wide)
+        before = dict(self.net.control_bytes)
+        self.net.subscribe(4, narrow)
+        # the narrow subscription is covered at node 4's broker: no new
+        # control traffic toward the source
+        assert self.net.control_bytes == before
+
+    def test_publish_rate_scales_traffic(self):
+        sub = Subscription.to_streams(["R"])
+        self.net.subscribe(1, sub)
+        self.net.reset_traffic()
+        self.net.publish_rate(0, Event("R", {"a": 1}, size=2.0), rate=5.0)
+        assert self.net.total_data_bytes() == pytest.approx(10.0)
+
+    def test_weighted_cost_uses_latency(self):
+        sub = Subscription.to_streams(["R"])
+        self.net.subscribe(4, sub)
+        self.net.reset_traffic()
+        self.net.publish(0, Event("R", {"a": 1}, size=1.0))
+        # 4 unit-latency links x 1 byte
+        assert self.net.weighted_data_cost() == pytest.approx(4.0)
+
+    def test_star_topology_only_interested_branches(self):
+        tree = star_tree(6)
+        net = PubSubNetwork(tree)
+        net.advertise(1, Advertisement(stream="R"))
+        net.subscribe(2, Subscription.to_streams(["R"]))
+        net.subscribe(3, Subscription.to_streams(["S"]))  # different stream
+        net.reset_traffic()
+        deliveries = net.publish(1, Event("R", {}, size=1.0))
+        assert [n for n, _, _ in deliveries] == [2]
+        used_links = set(net.link_bytes)
+        assert used_links == {(0, 1), (0, 2)}
+
+    def test_rejects_non_tree_overlay(self):
+        tree = chain_tree(3)
+        tree.add_link(0, 2, 1.0)  # cycle
+        with pytest.raises(ValueError):
+            PubSubNetwork(tree)
+
+    def test_publisher_local_subscriber(self):
+        sub = Subscription.to_streams(["R"])
+        self.net.subscribe(0, sub)
+        deliveries = self.net.publish(0, Event("R", {"a": 1}))
+        assert [n for n, _, _ in deliveries] == [0]
+        assert self.net.total_data_bytes() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# property-based: delivery = exact match set, exactly once
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    thresholds=st.lists(st.integers(-5, 25), min_size=1, max_size=6),
+    value=st.integers(-10, 30),
+    data=st.data(),
+)
+def test_delivery_matches_semantics(thresholds, value, data):
+    """Every matching subscription gets the event exactly once; no
+    non-matching subscription ever receives it."""
+    tree = chain_tree(6)
+    net = PubSubNetwork(tree)
+    net.advertise(0, Advertisement(stream="R"))
+    subs = []
+    for th in thresholds:
+        node = data.draw(st.integers(0, 5))
+        sub = Subscription.to_streams(["R"], filter=Filter.of(("a", ">", th)))
+        net.subscribe(node, sub)
+        subs.append((node, th, sub))
+    deliveries = net.publish(0, Event("R", {"a": value}))
+    got = {}
+    for n, _, s in deliveries:
+        got[s.sub_id] = got.get(s.sub_id, 0) + 1
+    for node, th, sub in subs:
+        if value > th:
+            assert got.get(sub.sub_id) == 1, "matching sub must get it once"
+        else:
+            assert sub.sub_id not in got, "non-matching sub must not get it"

@@ -1,0 +1,213 @@
+"""Tests for pub/sub constraints, filters, matching and covering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pubsub.predicates import AttributeRange, Constraint, Filter, TRUE_FILTER
+
+
+class TestConstraint:
+    @pytest.mark.parametrize(
+        "op,value,probe,expected",
+        [
+            ("==", 5, 5, True),
+            ("==", 5, 6, False),
+            ("!=", 5, 6, True),
+            ("!=", 5, 5, False),
+            ("<", 5, 4, True),
+            ("<", 5, 5, False),
+            ("<=", 5, 5, True),
+            (">", 5, 6, True),
+            (">", 5, 5, False),
+            (">=", 5, 5, True),
+        ],
+    )
+    def test_matching_ops(self, op, value, probe, expected):
+        assert Constraint("a", op, value).matches(probe) is expected
+
+    def test_in_operator(self):
+        c = Constraint("a", "in", [1, 2, 3])
+        assert c.matches(2)
+        assert not c.matches(4)
+
+    def test_in_normalises_to_frozenset(self):
+        c = Constraint("a", "in", [1, 2])
+        assert isinstance(c.value, frozenset)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("a", "~", 1)
+
+    def test_none_never_matches(self):
+        assert not Constraint("a", ">", 0).matches(None)
+
+
+class TestFilterMatching:
+    def test_true_filter_matches_everything(self):
+        assert TRUE_FILTER.matches({})
+        assert TRUE_FILTER.matches({"x": 1})
+
+    def test_conjunction(self):
+        f = Filter.of(("a", ">", 10), ("a", "<", 20))
+        assert f.matches({"a": 15})
+        assert not f.matches({"a": 5})
+        assert not f.matches({"a": 25})
+
+    def test_missing_attribute_fails(self):
+        f = Filter.of(("a", ">", 10))
+        assert not f.matches({"b": 15})
+
+    def test_multi_attribute(self):
+        f = Filter.of(("a", ">", 1), ("b", "==", "x"))
+        assert f.matches({"a": 2, "b": "x"})
+        assert not f.matches({"a": 2, "b": "y"})
+
+    def test_contradiction_is_empty(self):
+        f = Filter.of(("a", ">", 10), ("a", "<", 5))
+        assert f.is_empty()
+        assert not f.matches({"a": 7})
+
+    def test_equality_contradiction(self):
+        f = Filter.of(("a", "==", 1), ("a", "==", 2))
+        assert f.is_empty()
+
+    def test_equality_with_interval(self):
+        f = Filter.of(("a", "==", 5), ("a", ">", 3))
+        assert f.matches({"a": 5})
+        f2 = Filter.of(("a", "==", 2), ("a", ">", 3))
+        assert f2.is_empty()
+
+    def test_not_equal_carves_hole(self):
+        f = Filter.of(("a", ">", 0), ("a", "!=", 5))
+        assert f.matches({"a": 4})
+        assert not f.matches({"a": 5})
+
+    def test_boundary_point_interval(self):
+        f = Filter.of(("a", ">=", 5), ("a", "<=", 5))
+        assert f.matches({"a": 5})
+        assert not f.is_empty()
+        g = Filter.of(("a", ">", 5), ("a", "<=", 5))
+        assert g.is_empty()
+
+
+class TestCovering:
+    def test_true_covers_all(self):
+        assert TRUE_FILTER.covers(Filter.of(("a", ">", 10)))
+
+    def test_specific_does_not_cover_true(self):
+        assert not Filter.of(("a", ">", 10)).covers(TRUE_FILTER)
+
+    def test_wider_interval_covers(self):
+        wide = Filter.of(("a", ">", 10))
+        narrow = Filter.of(("a", ">", 20))
+        assert wide.covers(narrow)
+        assert not narrow.covers(wide)
+
+    def test_same_bound_inclusivity(self):
+        ge = Filter.of(("a", ">=", 10))
+        gt = Filter.of(("a", ">", 10))
+        assert ge.covers(gt)
+        assert not gt.covers(ge)
+
+    def test_extra_attribute_in_covered(self):
+        f1 = Filter.of(("a", ">", 10))
+        f2 = Filter.of(("a", ">", 10), ("b", "<", 5))
+        assert f1.covers(f2)
+        assert not f2.covers(f1)
+
+    def test_membership_covering(self):
+        f1 = Filter.of(("a", "in", [1, 2, 3]))
+        f2 = Filter.of(("a", "in", [1, 2]))
+        assert f1.covers(f2)
+        assert not f2.covers(f1)
+
+    def test_interval_covers_membership(self):
+        f1 = Filter.of(("a", ">", 0))
+        f2 = Filter.of(("a", "in", [1, 2]))
+        assert f1.covers(f2)
+
+    def test_empty_covered_by_anything(self):
+        empty = Filter.of(("a", ">", 2), ("a", "<", 1))
+        assert Filter.of(("a", "==", 99)).covers(empty)
+
+    def test_exclusion_blocks_covering(self):
+        f1 = Filter.of(("a", ">", 0), ("a", "!=", 5))
+        f2 = Filter.of(("a", ">", 0))
+        assert not f1.covers(f2)
+        assert f2.covers(f1)
+
+
+class TestHull:
+    def test_hull_covers_both(self):
+        f1 = Filter.of(("a", ">", 10), ("a", "<", 20))
+        f2 = Filter.of(("a", ">", 15), ("a", "<", 30))
+        h = f1.hull(f2)
+        assert h.covers(f1) and h.covers(f2)
+
+    def test_hull_drops_uncommon_attributes(self):
+        f1 = Filter.of(("a", ">", 10), ("b", "<", 5))
+        f2 = Filter.of(("a", ">", 12))
+        h = f1.hull(f2)
+        assert h.attributes() == frozenset({"a"})
+
+    def test_hull_of_memberships(self):
+        f1 = Filter.of(("a", "in", [1, 2]))
+        f2 = Filter.of(("a", "in", [3]))
+        h = f1.hull(f2)
+        assert h.matches({"a": 1}) and h.matches({"a": 3})
+        assert not h.matches({"a": 4})
+
+    def test_conjoin(self):
+        f = Filter.of(("a", ">", 10)).conjoin(Filter.of(("a", "<", 20)))
+        assert f.matches({"a": 15})
+        assert not f.matches({"a": 25})
+
+
+# ---------------------------------------------------------------------------
+# property-based: covering must be consistent with match semantics
+# ---------------------------------------------------------------------------
+
+_ops = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+_vals = st.integers(-20, 20)
+
+
+def _filters(max_constraints=3):
+    return st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), _ops, _vals),
+        min_size=0,
+        max_size=max_constraints,
+    ).map(lambda triples: Filter.of(*triples))
+
+
+@settings(max_examples=300, deadline=None)
+@given(f1=_filters(), f2=_filters(), probe=st.dictionaries(
+    st.sampled_from(["a", "b"]), _vals, min_size=0, max_size=2))
+def test_covering_implies_match_superset(f1, f2, probe):
+    """If f1 covers f2, every assignment matching f2 matches f1."""
+    if f1.covers(f2) and f2.matches(probe):
+        assert f1.matches(probe)
+
+
+@settings(max_examples=200, deadline=None)
+@given(f1=_filters(), f2=_filters(), probe=st.dictionaries(
+    st.sampled_from(["a", "b"]), _vals, min_size=0, max_size=2))
+def test_hull_matches_union(f1, f2, probe):
+    """The hull matches everything either input matches."""
+    h = f1.hull(f2)
+    if f1.matches(probe) or f2.matches(probe):
+        assert h.matches(probe)
+
+
+@settings(max_examples=200, deadline=None)
+@given(f=_filters())
+def test_covering_reflexive(f):
+    if not f.is_empty():
+        assert f.covers(f)
+
+
+@settings(max_examples=200, deadline=None)
+@given(f1=_filters(), f2=_filters(), f3=_filters())
+def test_covering_transitive(f1, f2, f3):
+    if f1.covers(f2) and f2.covers(f3):
+        assert f1.covers(f3)

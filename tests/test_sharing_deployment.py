@@ -1,0 +1,101 @@
+"""Integration tests: placement -> engines + pub/sub with result sharing."""
+
+import pytest
+
+from repro.core.sharing import SharingDeployment
+from repro.engine import SensorFleet
+from repro.query.parser import parse_query
+from repro.topology import OverlayTree
+
+
+def star_overlay(nodes, center):
+    tree = OverlayTree(nodes=list(nodes))
+    for n in nodes:
+        if n != center:
+            tree.add_link(center, n, 1.0)
+    return tree
+
+
+Q3 = parse_query(
+    "SELECT S2.* FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2"
+    " WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10",
+    name="Q3",
+)
+Q4 = parse_query(
+    "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp"
+    " FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2"
+    " WHERE S1.snowHeight > S2.snowHeight",
+    name="Q4",
+)
+
+
+@pytest.fixture
+def deployment():
+    # nodes: 0 = hub/processor, 1,2 = sources, 3,4 = user proxies
+    overlay = star_overlay([0, 1, 2, 3, 4], center=0)
+    # seed 7 gives station baselines where S1.snowHeight > S2.snowHeight
+    # actually fires (the join is otherwise legitimately empty)
+    fleet = SensorFleet.build(2, stream_prefix="Station", seed=7)
+    dep = SharingDeployment(
+        overlay, stream_sources={"Station1": 1, "Station2": 2}
+    )
+    return dep, fleet
+
+
+class TestSharingDeployment:
+    def test_two_queries_one_executed(self, deployment):
+        dep, _ = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q4, proxy=4, processor=0)
+        assert dep.user_query_count() == 2
+        assert dep.executed_query_count() == 1  # merged into one group
+
+    def test_results_reach_both_users(self, deployment):
+        dep, fleet = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q4, proxy=4, processor=0)
+        dep.run(fleet.trace(start=0.0, steps=60))
+        assert len(dep.results_of("Q3")) > 0
+        assert len(dep.results_of("Q4")) > 0
+        # Q4's window dominates Q3's, so Q4 sees at least as many results
+        assert len(dep.results_of("Q4")) >= len(dep.results_of("Q3"))
+
+    def test_carved_results_match_direct_execution(self, deployment):
+        from repro.engine import Engine
+
+        dep, fleet = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q4, proxy=4, processor=0)
+        trace = fleet.trace(start=0.0, steps=60)
+        dep.run(trace)
+
+        direct = Engine()
+        direct.add_query(Q3, result_stream="s3")
+        direct.add_query(Q4, result_stream="s4")
+        for t in trace:
+            direct.push(t)
+        assert len(dep.results_of("Q3")) == len(direct.results["Q3"])
+        assert len(dep.results_of("Q4")) == len(direct.results["Q4"])
+
+    def test_incompatible_queries_run_separately(self, deployment):
+        dep, _ = deployment
+        other = parse_query(
+            "SELECT S1.temperature, S1.timestamp FROM Station1 [Now] S1"
+            " WHERE S1.temperature < 0",
+            name="Qtemp",
+        )
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(other, proxy=4, processor=0)
+        assert dep.executed_query_count() == 2
+
+    def test_data_cost_accounted(self, deployment):
+        dep, fleet = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.run(fleet.trace(start=0.0, steps=30))
+        assert dep.weighted_data_cost() > 0
+
+    def test_unnamed_query_rejected(self, deployment):
+        dep, _ = deployment
+        anon = parse_query("SELECT S1.snowHeight FROM Station1 [Now] S1")
+        with pytest.raises(ValueError):
+            dep.deploy(anon, proxy=3, processor=0)
