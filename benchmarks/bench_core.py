@@ -1,0 +1,34 @@
+"""Optimizer-kernel benchmarks: reference vs vectorised fast paths.
+
+Runs the :mod:`repro.bench` scenario registry at the quick scale inside
+the pytest-benchmark harness and writes ``BENCH_core.json`` next to the
+working directory, mirroring what ``python -m repro.bench`` does
+standalone.  Set ``REPRO_BENCH_SCALE=full`` for the acceptance-scale run
+(10k queries / 1k processors).
+"""
+
+import os
+
+from conftest import emit
+
+from repro.bench import format_table, run_scenarios, validate_report, write_report
+
+
+def test_core_kernels(benchmark):
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    results = benchmark.pedantic(
+        run_scenarios, args=(scale,), rounds=1, iterations=1
+    )
+    emit(format_table(results))
+    out = os.environ.get("REPRO_BENCH_OUT", "BENCH_core.json")
+    write_report(results, out, scale)
+    validate_report(out)
+
+    by_name = {r["name"]: r for r in results}
+    # the vectorised kernels must beat their references comfortably
+    assert by_name["wec_eval"]["speedup"] >= 5.0
+    assert by_name["wec_eval"]["parity"]["rel_err"] < 1e-9
+    assert by_name["diffusion"]["speedup"] >= 1.0
+    assert by_name["diffusion"]["parity"]["max_flow_err"] < 1e-9
+    assert by_name["coarsening"]["parity"]["identical_partition"]
+    assert by_name["attach_costs"]["parity"]["max_abs_err"] < 1e-6

@@ -1,0 +1,32 @@
+"""Benchmark subsystem: scenario registry, timers and JSON reports.
+
+Every optimizer-kernel fast path in :mod:`repro.core` keeps its pure-
+Python reference implementation; this package times both sides on
+synthetic workloads at controlled scales and emits a machine-readable
+``BENCH_core.json`` so each PR has a performance trajectory to beat.
+
+Entry points:
+
+* ``python -m repro.bench`` (or the ``cosmos-bench`` console script) --
+  run the registered scenarios at a named scale and write the report;
+* :func:`repro.bench.scenarios.run_scenarios` -- the same, as a library
+  call (used by ``benchmarks/bench_core.py`` and the CI smoke job);
+* :func:`repro.bench.report.validate_report` -- schema check for CI.
+"""
+
+from .report import emit_block, format_table, validate_report, write_report
+from .scenarios import SCALES, SCENARIOS, run_scenarios, scenario
+from .timers import Timing, measure
+
+__all__ = [
+    "SCALES",
+    "SCENARIOS",
+    "Timing",
+    "emit_block",
+    "format_table",
+    "measure",
+    "run_scenarios",
+    "scenario",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` dispatch."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Command-line benchmark runner (``python -m repro.bench``).
+
+Runs the registered scenarios at a named scale, prints the comparison
+table and writes the JSON report (default ``BENCH_core.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .report import emit_block, format_table, write_report
+from .scenarios import SCALES, SCENARIOS, run_scenarios
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``cosmos-bench`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="cosmos-bench",
+        description="COSMOS optimizer kernel benchmarks",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="full",
+        help="scenario sizes (full = the 10k-query acceptance scale)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only the given scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_core.json",
+        help="path of the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in SCENARIOS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<18} {doc}")
+        return 0
+
+    # fail on an unwritable output path *before* spending minutes benching
+    try:
+        with open(args.out, "a"):
+            pass
+    except OSError as exc:
+        parser.error(f"cannot write {args.out}: {exc}")
+
+    results = run_scenarios(args.scale, only=args.scenario)
+    emit_block(format_table(results))
+    write_report(results, args.out, args.scale)
+    print(f"wrote {args.out} ({len(results)} scenarios, scale={args.scale})")
+    return 0

@@ -1,0 +1,96 @@
+"""Benchmark report assembly, JSON emission and validation."""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Sequence
+
+__all__ = ["emit_block", "format_table", "validate_report", "write_report"]
+
+#: report format identifier; bump on breaking layout changes
+SCHEMA = "cosmos-bench/1"
+
+#: keys every scenario result must carry
+REQUIRED_KEYS = ("name", "params")
+
+
+def build_report(results: Sequence[Dict], scale: str) -> Dict:
+    """Wrap scenario results with run metadata into one report dict."""
+    import numpy
+
+    return {
+        "schema": SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": scale,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scenarios": list(results),
+    }
+
+
+def write_report(results: Sequence[Dict], path: str, scale: str) -> Dict:
+    """Write the JSON report to ``path``; returns the report dict."""
+    report = build_report(results, scale)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def validate_report(path: str) -> Dict:
+    """Load ``path`` and check it is a well-formed bench report.
+
+    Raises ``ValueError`` on any malformation; returns the parsed report
+    otherwise.  Used by the CI smoke job after the quick bench run.
+    """
+    with open(path) as fh:
+        report = json.load(fh)
+    if not isinstance(report, dict):
+        raise ValueError("report root must be an object")
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"unexpected schema {report.get('schema')!r}")
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise ValueError("report has no scenarios")
+    for s in scenarios:
+        for key in REQUIRED_KEYS:
+            if key not in s:
+                raise ValueError(f"scenario missing {key!r}: {s}")
+        speedup = s.get("speedup")
+        if speedup is not None and speedup <= 0:
+            raise ValueError(f"non-positive speedup in {s['name']}")
+    return report
+
+
+def format_table(results: Sequence[Dict]) -> str:
+    """Human-readable table of scenario results (for terminals/CI logs)."""
+    rows: List[str] = []
+    header = (
+        f"{'scenario':<22} {'reference':>12} {'fast':>12} "
+        f"{'speedup':>9}  params"
+    )
+    rows.append(header)
+    rows.append("-" * len(header))
+    for s in results:
+        ref = s.get("reference_s")
+        fast = s.get("fast_s")
+        speed = s.get("speedup")
+        params = " ".join(f"{k}={v}" for k, v in s.get("params", {}).items())
+        rows.append(
+            f"{s['name']:<22} "
+            f"{(f'{ref * 1e3:.2f}ms' if ref is not None else '-'):>12} "
+            f"{(f'{fast * 1e3:.2f}ms' if fast is not None else '-'):>12} "
+            f"{(f'{speed:.1f}x' if speed is not None else '-'):>9}  "
+            f"{params}"
+        )
+    return "\n".join(rows)
+
+
+def emit_block(text: str) -> None:
+    """Print a delimited results block (shared with ``benchmarks/``)."""
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)

@@ -1,0 +1,392 @@
+"""Benchmark scenarios: reference vs fast optimizer kernels.
+
+Each scenario builds a synthetic workload at a size taken from a named
+*scale* (``smoke`` < ``quick`` < ``full``), times the pure-Python
+reference kernel against the vectorised fast path, checks parity between
+the two, and returns one JSON-ready result dict.  ``full`` reproduces the
+acceptance scale of the optimizer benchmarks: 10k queries over 1k
+processors for WEC evaluation and a 1k-node diffusion system.
+
+Scenarios register themselves in :data:`SCENARIOS` via the
+:func:`scenario` decorator; :func:`run_scenarios` executes them in
+registration order.
+"""
+
+from __future__ import annotations
+
+import random
+from types import SimpleNamespace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.coarsening import coarsen
+from ..core.diffusion import diffusion_solution, diffusion_solution_reference
+from ..core.fastcost import CostWorkspace
+from ..core.graphs import (
+    NetVertex,
+    NetworkGraph,
+    QueryGraph,
+    build_query_graph,
+    qvertex_from_query,
+)
+from ..core.mapping import _attach_cost, _positions
+from ..core.rebalance import rebalance, refine_distribution
+from ..query.interest import SubstreamSpace, mask_of
+from ..query.workload import QuerySpec
+from .timers import measure
+
+__all__ = ["SCALES", "SCENARIOS", "run_scenarios", "scenario", "SyntheticOracle"]
+
+#: scenario sizes; "full" is the acceptance scale of ISSUE 1
+SCALES: Dict[str, Dict] = {
+    "smoke": dict(
+        wec_queries=200, processors=8, substreams=500, sources=10,
+        diffusion_nodes=16, coarsen_queries=80, coarsen_vmax=20,
+        attach_sample=50, rebalance_queries=150, rebalance_processors=8,
+        e2e_queries=100, repeat=2,
+    ),
+    "quick": dict(
+        wec_queries=1000, processors=64, substreams=2000, sources=20,
+        diffusion_nodes=128, coarsen_queries=400, coarsen_vmax=80,
+        attach_sample=100, rebalance_queries=500, rebalance_processors=32,
+        e2e_queries=300, repeat=3,
+    ),
+    "full": dict(
+        wec_queries=10000, processors=1000, substreams=20000, sources=100,
+        diffusion_nodes=1000, coarsen_queries=2000, coarsen_vmax=150,
+        attach_sample=100, rebalance_queries=2000, rebalance_processors=64,
+        e2e_queries=1500, repeat=3,
+    ),
+}
+
+SCENARIOS: Dict[str, Callable[[Dict], Optional[Dict]]] = {}
+
+
+def scenario(name: str) -> Callable:
+    """Decorator registering a scenario function under ``name``."""
+
+    def register(fn: Callable[[Dict], Optional[Dict]]) -> Callable:
+        SCENARIOS[name] = fn
+        return fn
+
+    return register
+
+
+class SyntheticOracle:
+    """Latency oracle over random 2-D coordinates (benchmarks only).
+
+    Mimics :class:`~repro.topology.latency.LatencyOracle`'s interface
+    (``row``, ``__call__``, ``topology.n``) without a graph: latency is
+    the Euclidean distance between node coordinates, so rows are one
+    vectorised norm instead of a Dijkstra run.
+    """
+
+    def __init__(self, n: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.coords = rng.uniform(0.0, 100.0, size=(n, 2))
+        self.topology = SimpleNamespace(n=n)
+        self._rows: Dict[int, np.ndarray] = {}
+
+    def row(self, u: int) -> np.ndarray:
+        """Distances from ``u`` to every node (cached)."""
+        if u not in self._rows:
+            self._rows[u] = np.linalg.norm(
+                self.coords - self.coords[u], axis=1
+            )
+        return self._rows[u]
+
+    def __call__(self, u: int, v: int) -> float:
+        if u == v:
+            return 0.0
+        return float(self.row(u)[v])
+
+
+def synthetic_testbed(
+    num_queries: int,
+    num_processors: int,
+    num_substreams: int,
+    num_sources: int,
+    seed: int = 0,
+    substreams_per_query: Tuple[int, int] = (10, 30),
+) -> Tuple[QueryGraph, NetworkGraph, SubstreamSpace, Dict]:
+    """Query graph + network graph + random mapping at a given scale.
+
+    Node ids: sources occupy ``[0, num_sources)``, processors
+    ``[num_sources, num_sources + num_processors)``.  Returns
+    ``(qg, ng, space, mapping)`` with ``mapping`` assigning every
+    q-vertex a uniformly random processor.
+    """
+    rng = random.Random(seed)
+    sources = list(range(num_sources))
+    processors = list(range(num_sources, num_sources + num_processors))
+    oracle = SyntheticOracle(num_sources + num_processors, seed=seed)
+    space = SubstreamSpace.random(num_substreams, sources=sources, seed=seed)
+    ng = NetworkGraph(
+        [
+            NetVertex(
+                vid=("p", p), site=p, capability=1.0, covers=frozenset([p])
+            )
+            for p in processors
+        ],
+        oracle,
+        oracle=oracle,
+    )
+    lo, hi = substreams_per_query
+    queries = []
+    for i in range(num_queries):
+        mask = mask_of(rng.sample(range(num_substreams), rng.randint(lo, hi)))
+        queries.append(
+            QuerySpec(
+                query_id=i,
+                proxy=rng.choice(processors),
+                mask=mask,
+                group=0,
+                load=1.0,
+                result_rate=1.0,
+                state_size=1.0,
+            )
+        )
+    qg = build_query_graph(
+        [qvertex_from_query(q, space) for q in queries], space, ng
+    )
+    targets = ng.ids()
+    mapping = {vid: rng.choice(targets) for vid in qg.qverts}
+    return qg, ng, space, mapping
+
+
+@scenario("wec_eval")
+def bench_wec(scale: Dict) -> Dict:
+    """WEC evaluation: per-edge Python loop vs one gather + dot product."""
+    qg, ng, _space, mapping = synthetic_testbed(
+        scale["wec_queries"], scale["processors"],
+        scale["substreams"], scale["sources"],
+    )
+    repeat = scale["repeat"]
+    ref_val, ref_t = measure(
+        lambda: qg.wec_reference(mapping, ng), repeat=repeat
+    )
+    # snapshot construction is timed separately: the hot path (refinement,
+    # adaptation) evaluates many mappings against one snapshot
+    arrays, setup_t = measure(lambda: qg.arrays_for(ng), repeat=1)
+    fast_val, fast_t = measure(lambda: arrays.wec(mapping), repeat=repeat)
+    return {
+        "params": {
+            "queries": scale["wec_queries"],
+            "processors": scale["processors"],
+            "edges": int(arrays.edge_w.size),
+        },
+        "reference_s": ref_t.best,
+        "fast_s": fast_t.best,
+        "fast_setup_s": setup_t.best,
+        "speedup": ref_t.best / fast_t.best,
+        "parity": {
+            "reference": ref_val,
+            "fast": fast_val,
+            "rel_err": abs(ref_val - fast_val) / max(1e-12, abs(ref_val)),
+        },
+    }
+
+
+@scenario("diffusion")
+def bench_diffusion(scale: Dict) -> Dict:
+    """Diffusion solve: lstsq + n^2 Python loop vs closed form + nonzero.
+
+    Loads mirror what Algorithm 3 actually hands the solver: most nodes
+    near their fair share with a small fraction of hot spots, and the
+    rebalancer's noise floor (0.1% of the average target) applied to both
+    paths.
+    """
+    n = scale["diffusion_nodes"]
+    rng = np.random.default_rng(1)
+    load_vec = rng.uniform(45.0, 55.0, size=n)
+    hot = rng.choice(n, size=max(1, n // 20), replace=False)
+    load_vec[hot] *= 10.0
+    loads = {f"n{i}": float(load_vec[i]) for i in range(n)}
+    targets = {k: 1.0 for k in loads}
+    floor = 1e-3 * (load_vec.sum() / n)
+    repeat = scale["repeat"]
+    ref_flows, ref_t = measure(
+        lambda: diffusion_solution_reference(loads, targets, floor=floor),
+        repeat=repeat,
+    )
+    fast_flows, fast_t = measure(
+        lambda: diffusion_solution(loads, targets, floor=floor),
+        repeat=repeat,
+    )
+    keys = set(ref_flows) | set(fast_flows)
+    max_err = max(
+        (abs(ref_flows.get(k, 0.0) - fast_flows.get(k, 0.0)) for k in keys),
+        default=0.0,
+    )
+    return {
+        "params": {
+            "nodes": n,
+            "hot_nodes": int(hot.size),
+            "flows": len(fast_flows),
+        },
+        "reference_s": ref_t.best,
+        "fast_s": fast_t.best,
+        "speedup": ref_t.best / fast_t.best,
+        "parity": {"max_flow_err": max_err},
+    }
+
+
+@scenario("coarsening")
+def bench_coarsening(scale: Dict) -> Dict:
+    """Heavy-edge matching: dict candidate scan vs CSR argmax kernel."""
+    qg, ng, space, _mapping = synthetic_testbed(
+        scale["coarsen_queries"], scale["rebalance_processors"],
+        scale["substreams"], scale["sources"], seed=2,
+    )
+    vmax = scale["coarsen_vmax"]
+    ref_g, ref_t = measure(
+        lambda: coarsen(qg, vmax, space, rng=random.Random(0), fast=False),
+        repeat=1,
+    )
+    fast_g, fast_t = measure(
+        lambda: coarsen(qg, vmax, space, rng=random.Random(0), fast=True),
+        repeat=1,
+    )
+    ref_parts = sorted(tuple(sorted(v.members)) for v in ref_g.qverts.values())
+    fast_parts = sorted(
+        tuple(sorted(v.members)) for v in fast_g.qverts.values()
+    )
+    return {
+        "params": {"queries": scale["coarsen_queries"], "vmax": vmax},
+        "reference_s": ref_t.best,
+        "fast_s": fast_t.best,
+        "speedup": ref_t.best / fast_t.best,
+        "parity": {"identical_partition": ref_parts == fast_parts},
+    }
+
+
+@scenario("attach_costs")
+def bench_attach_costs(scale: Dict) -> Dict:
+    """Attach-cost rows: per-target neighbour loops vs one matvec."""
+    qg, ng, _space, mapping = synthetic_testbed(
+        scale["wec_queries"], scale["processors"],
+        scale["substreams"], scale["sources"], seed=3,
+    )
+    sample = list(qg.qverts)[: scale["attach_sample"]]
+    pos = _positions(qg, mapping, ng)
+    ws = CostWorkspace(qg, ng)
+    ws.init_positions(mapping)
+    targets = ng.ids()
+    repeat = scale["repeat"]
+
+    def reference() -> List[List[float]]:
+        return [
+            [_attach_cost(qg, vid, t, pos, ng) for t in targets]
+            for vid in sample
+        ]
+
+    def fast() -> List[np.ndarray]:
+        return [ws.attach_costs(vid) for vid in sample]
+
+    ref_rows, ref_t = measure(reference, repeat=repeat)
+    fast_rows, fast_t = measure(fast, repeat=repeat)
+    max_err = max(
+        float(np.max(np.abs(np.asarray(r) - f)))
+        for r, f in zip(ref_rows, fast_rows)
+    )
+    return {
+        "params": {
+            "queries": scale["wec_queries"],
+            "targets": len(targets),
+            "sample": len(sample),
+        },
+        "reference_s": ref_t.best,
+        "fast_s": fast_t.best,
+        "speedup": ref_t.best / fast_t.best,
+        "parity": {"max_abs_err": max_err},
+    }
+
+
+@scenario("rebalance")
+def bench_rebalance(scale: Dict) -> Dict:
+    """Trajectory: one Algorithm 3 round + refinement, skewed start.
+
+    No reference side -- the rebalancer itself is the fast path now; the
+    wall time recorded here is the number future PRs try to beat.
+    """
+    qg, ng, _space, _mapping = synthetic_testbed(
+        scale["rebalance_queries"], scale["rebalance_processors"],
+        scale["substreams"], scale["sources"], seed=4,
+    )
+    targets = ng.ids()
+    skew = targets[: max(1, len(targets) // 8)]
+    rng = random.Random(4)
+    assignment = {vid: rng.choice(skew) for vid in qg.qverts}
+
+    def round_() -> int:
+        work = dict(assignment)
+        stats = rebalance(qg, ng, work, rng=random.Random(0))
+        moves = refine_distribution(
+            qg, ng, work, dict(assignment), rng=random.Random(0)
+        )
+        return stats.moved_vertices + moves
+
+    moves, t = measure(round_, repeat=scale["repeat"])
+    return {
+        "params": {
+            "queries": scale["rebalance_queries"],
+            "processors": scale["rebalance_processors"],
+            "moves": moves,
+        },
+        "fast_s": t.best,
+    }
+
+
+@scenario("distribute_e2e")
+def bench_distribute(scale: Dict) -> Dict:
+    """Trajectory: Cosmos end-to-end initial distribution + one adapt.
+
+    Uses the experiments testbed (real transit-stub topology) rather than
+    the synthetic kernels, so the number tracks what the figure
+    benchmarks actually exercise.
+    """
+    from ..experiments.config import bench_scale, build_testbed
+
+    config = bench_scale(scale["e2e_queries"])
+    testbed = build_testbed(config)
+    cosmos = testbed.new_cosmos()
+    _placement, dist_t = measure(
+        lambda: cosmos.distribute(testbed.workload.queries), repeat=1
+    )
+    _report, adapt_t = measure(lambda: cosmos.adapt(), repeat=1)
+    return {
+        "params": {
+            "queries": scale["e2e_queries"],
+            "processors": config.num_processors,
+            "cost": testbed.cost(cosmos.placement),
+        },
+        "fast_s": dist_t.best,
+        "adapt_s": adapt_t.best,
+    }
+
+
+def run_scenarios(
+    scale_name: str = "full",
+    only: Optional[Sequence[str]] = None,
+) -> List[Dict]:
+    """Run registered scenarios at a named scale; returns result dicts.
+
+    ``only`` restricts the run to the given scenario names (unknown names
+    raise ``KeyError`` so typos fail loudly).
+    """
+    scale = SCALES[scale_name]
+    if only:
+        unknown = set(only) - set(SCENARIOS)
+        if unknown:
+            raise KeyError(f"unknown scenarios: {sorted(unknown)}")
+    results: List[Dict] = []
+    for name, fn in SCENARIOS.items():
+        if only and name not in only:
+            continue
+        result = fn(dict(scale))
+        if result is None:
+            continue
+        result["name"] = name
+        results.append(result)
+    return results

@@ -3,9 +3,11 @@
 from .coarsening import coarsen, merge_qvertices, rebuild_edges, uncoarsen_vertex
 from .coordinator import AdaptationReport, Coordinator
 from .cosmos import Cosmos, CosmosConfig
-from .diffusion import diffusion_solution
+from .diffusion import diffusion_solution, diffusion_solution_reference
+from .fastcost import CostWorkspace
 from .graphs import (
     DEFAULT_ALPHA,
+    GraphArrays,
     NetVertex,
     NetworkGraph,
     NVertex,
@@ -21,6 +23,8 @@ from .rebalance import RebalanceStats, rebalance, refine_distribution
 
 __all__ = [
     "DEFAULT_ALPHA",
+    "CostWorkspace",
+    "GraphArrays",
     "NetVertex",
     "NetworkGraph",
     "NVertex",
@@ -42,6 +46,7 @@ __all__ = [
     "attach_vertex",
     "choose_target",
     "diffusion_solution",
+    "diffusion_solution_reference",
     "RebalanceStats",
     "rebalance",
     "refine_distribution",

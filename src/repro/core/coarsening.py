@@ -24,6 +24,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
+
 from ..query.interest import SubstreamSpace
 from .graphs import NetworkGraph, NVertex, QueryGraph, QVertex, VertexId
 
@@ -47,6 +49,7 @@ class CoarseVertex:
 
     @property
     def is_n(self) -> bool:
+        """Whether the collapsed vertex carries a pinned n-part."""
         return self.pinned_node is not None
 
 
@@ -82,8 +85,7 @@ def rebuild_edges(
     q-n edges come from the vertices' rate maps; q-q overlap edges from
     interest-mask AND (the paper's bit-vector estimation).
     """
-    for vid in list(g.adj):
-        g.adj[vid] = {}
+    g.clear_edges()
     from .graphs import _add_overlap_edges
 
     qlist = list(g.qverts.values())
@@ -99,6 +101,199 @@ def rebuild_edges(
     _add_overlap_edges(g, qlist, space, max_overlap_neighbors)
 
 
+def _match_pass_reference(
+    work: QueryGraph, order: List[VertexId]
+) -> List[Tuple[VertexId, VertexId]]:
+    """One heavy-edge matching pass over ``order`` (dict reference path).
+
+    Visits q-vertices in the given order; each unmatched vertex pairs
+    with its heaviest-edged unmatched q-neighbour.  Ties break toward the
+    neighbour appearing earliest in ``order``.  Returns disjoint pairs.
+    """
+    rank = {vid: r for r, vid in enumerate(order)}
+    matched = set()
+    pairs: List[Tuple[VertexId, VertexId]] = []
+    for vid in order:
+        if vid in matched:
+            continue
+        best = None
+        best_key = None
+        for nbr, w in work.neighbors(vid).items():
+            if nbr not in work.qverts or nbr in matched or nbr == vid:
+                continue
+            key = (w, -rank[nbr])
+            if best is None or key > best_key:
+                best, best_key = nbr, key
+        if best is None:
+            continue
+        pairs.append((vid, best))
+        matched.add(vid)
+        matched.add(best)
+    return pairs
+
+
+def _match_pass_arrays(
+    work: QueryGraph, order: List[VertexId]
+) -> List[Tuple[VertexId, VertexId]]:
+    """One heavy-edge matching pass (array fast path).
+
+    Same matching rule as :func:`_match_pass_reference`, but candidate
+    filtering and the heaviest-edge argmax run as numpy operations over a
+    CSR snapshot of the q-q subgraph instead of per-edge Python tuples.
+    """
+    rank = {vid: r for r, vid in enumerate(order)}
+    nq = len(order)
+    # CSR over q-q edges only, vertex index = rank in `order`
+    indptr = np.zeros(nq + 1, dtype=np.int64)
+    flat_idx: List[int] = []
+    flat_w: List[float] = []
+    qverts = work.qverts
+    for r, vid in enumerate(order):
+        count = 0
+        for nbr, w in work.neighbors(vid).items():
+            if nbr in qverts and nbr != vid:
+                flat_idx.append(rank[nbr])
+                flat_w.append(w)
+                count += 1
+        indptr[r + 1] = indptr[r] + count
+    if not flat_idx:
+        return []
+    indices = np.asarray(flat_idx, dtype=np.int64)
+    weights = np.asarray(flat_w, dtype=float)
+
+    matched = np.zeros(nq, dtype=bool)
+    pairs: List[Tuple[VertexId, VertexId]] = []
+    for r in range(nq):
+        if matched[r]:
+            continue
+        lo, hi = indptr[r], indptr[r + 1]
+        cand = indices[lo:hi]
+        if cand.size == 0:
+            continue
+        free = ~matched[cand]
+        if not free.any():
+            continue
+        cand = cand[free]
+        cw = weights[lo:hi][free]
+        # heaviest edge first; ties toward the earliest-ranked neighbour
+        best = cand[np.lexsort((cand, -cw))[0]]
+        pairs.append((order[r], order[int(best)]))
+        matched[r] = True
+        matched[best] = True
+    return pairs
+
+
+class _OverlapIndex:
+    """Per-vertex sorted substream-index arrays for fast overlap rates.
+
+    ``space.overlap_rate(mask_a, mask_b)`` unpacks two full-width bit
+    vectors per call; during collapse that is the dominant cost.  Keeping
+    each vertex's interest as a sorted ``int64`` index array instead
+    turns the overlap into ``rates[intersect1d(a, b)].sum()`` -- and
+    because both formulations sum the *same* rates in the same ascending
+    index order, the results are bit-identical to the mask path.
+    """
+
+    def __init__(self, space: SubstreamSpace):
+        self.space = space
+        self._idx: Dict[VertexId, np.ndarray] = {}
+        # reusable membership scratch over the substream universe: an
+        # O(deg) gather per neighbour instead of a sort per overlap
+        self._mark = np.zeros(len(space), dtype=bool)
+
+    def indices(self, v: QVertex) -> np.ndarray:
+        """Sorted substream indices of ``v``'s interest mask (cached)."""
+        arr = self._idx.get(v.vid)
+        if arr is None:
+            arr = self.space._indices(v.mask)
+            self._idx[v.vid] = arr
+        return arr
+
+    def merged(self, merged: QVertex, u: QVertex, v: QVertex) -> None:
+        """Record the index array of a freshly merged vertex."""
+        self._idx[merged.vid] = np.union1d(self.indices(u), self.indices(v))
+        self._idx.pop(u.vid, None)
+        self._idx.pop(v.vid, None)
+
+    def overlap_rates(self, v: QVertex, others: List[QVertex]) -> List[float]:
+        """Overlap rate of ``v`` against each of ``others`` (batched).
+
+        Each result equals ``space.overlap_rate(v.mask, o.mask)`` exactly:
+        the selected indices come out in the same ascending order, so the
+        float summation order matches the mask path bit for bit.
+        """
+        mark = self._mark
+        vidx = self.indices(v)
+        mark[vidx] = True
+        rates = self.space.rates
+        out: List[float] = []
+        for other in others:
+            oidx = self.indices(other)
+            sel = oidx[mark[oidx]]
+            out.append(float(rates[sel].sum()) if sel.size else 0.0)
+        mark[vidx] = False
+        return out
+
+
+def _collapse_pairs(
+    work: QueryGraph,
+    pairs: List[Tuple[VertexId, VertexId]],
+    space: SubstreamSpace,
+    origin: Optional[Hashable],
+    vmax: int,
+    overlap: Optional[_OverlapIndex] = None,
+) -> bool:
+    """Merge matched pairs in order until ``vmax`` is reached (lines 8-11).
+
+    Neighbour edges of a collapsed pair are unioned; q-q edges are then
+    re-estimated exactly from the merged interest mask (the paper's
+    bit-vector estimation) -- through the index-array cache when
+    ``overlap`` is given (fast path), through ``space.overlap_rate``
+    otherwise.  Returns whether any merge happened.
+    """
+    merged_any = False
+    for a, b in pairs:
+        if work.vertex_count() <= vmax:
+            break
+        if a not in work.qverts or b not in work.qverts:
+            continue
+        u, v = work.qverts[a], work.qverts[b]
+        w_new = merge_qvertices(u, v, origin=origin)
+        if overlap is not None:
+            overlap.merged(w_new, u, v)
+
+        # collect union of neighbour edges before removal
+        nbr_edges: Dict[VertexId, float] = {}
+        for old in (a, b):
+            for nbr, w in work.neighbors(old).items():
+                if nbr in (a, b):
+                    continue
+                nbr_edges[nbr] = nbr_edges.get(nbr, 0.0) + w
+        work.remove_vertex(a)
+        work.remove_vertex(b)
+        work.add_qvertex(w_new)
+        if overlap is not None:
+            # re-estimate all q-q overlaps of the merged vertex in one
+            # batched membership pass
+            qnbrs = [nbr for nbr in nbr_edges if nbr in work.qverts]
+            qrates = overlap.overlap_rates(
+                w_new, [work.qverts[nbr] for nbr in qnbrs]
+            )
+            for nbr, w in zip(qnbrs, qrates):
+                work.set_edge(w_new.vid, nbr, w)
+            for nbr, w in nbr_edges.items():
+                if nbr not in work.qverts:
+                    work.set_edge(w_new.vid, nbr, w)
+        else:
+            for nbr, w in nbr_edges.items():
+                if nbr in work.qverts:
+                    # re-estimate overlap exactly from the merged mask
+                    w = space.overlap_rate(w_new.mask, work.qverts[nbr].mask)
+                work.set_edge(w_new.vid, nbr, w)
+        merged_any = True
+    return merged_any
+
+
 def coarsen(
     g: QueryGraph,
     vmax: int,
@@ -106,8 +301,18 @@ def coarsen(
     origin: Optional[Hashable] = None,
     rng: Optional[random.Random] = None,
     ng: Optional[NetworkGraph] = None,
+    fast: bool = True,
 ) -> QueryGraph:
     """Algorithm 1: coarsen ``g`` until it has at most ``vmax`` vertices.
+
+    Each round shuffles the q-vertices, computes one heavy-edge matching
+    pass over them (heavily-connected vertices are likely to be mapped to
+    the same network vertex anyway) and collapses the matched pairs;
+    rounds repeat until the graph fits in ``vmax`` or no pair is left.
+    ``fast`` selects the numpy matching kernel
+    (:func:`_match_pass_arrays`); the dict-based reference
+    (:func:`_match_pass_reference`) implements the identical rule and
+    produces the identical graph for the same ``rng``.
 
     ``g`` is not modified; a new graph is returned.  Only q-vertices are
     collapsed with each other in this implementation of the n-vertex rule:
@@ -118,6 +323,8 @@ def coarsen(
     (the strictest reading of the cluster constraint).
     """
     rng = rng or random.Random(0)
+    match_pass = _match_pass_arrays if fast else _match_pass_reference
+    overlap = _OverlapIndex(space) if fast else None
 
     # working copy
     work = QueryGraph()
@@ -129,47 +336,13 @@ def coarsen(
         work.set_edge(a, b, w)
 
     while work.vertex_count() > vmax:
-        merged_any = False
-        matched = set()
         qids = list(work.qverts)
         rng.shuffle(qids)
-        for vid in qids:
-            if work.vertex_count() <= vmax:
-                break
-            if vid in matched or vid not in work.qverts:
-                continue
-            # candidate neighbours: unmatched q-vertices
-            candidates = [
-                (nbr, w)
-                for nbr, w in work.neighbors(vid).items()
-                if nbr in work.qverts and nbr not in matched and nbr != vid
-            ]
-            if not candidates:
-                continue
-            partner, _ = max(candidates, key=lambda kv: (kv[1], str(kv[0])))
-            u = work.qverts[vid]
-            v = work.qverts[partner]
-            w_new = merge_qvertices(u, v, origin=origin)
-
-            # collect union of neighbour edges before removal
-            nbr_edges: Dict[VertexId, float] = {}
-            for old in (vid, partner):
-                for nbr, w in work.neighbors(old).items():
-                    if nbr in (vid, partner):
-                        continue
-                    nbr_edges[nbr] = nbr_edges.get(nbr, 0.0) + w
-            work.remove_vertex(vid)
-            work.remove_vertex(partner)
-            work.add_qvertex(w_new)
-            for nbr, w in nbr_edges.items():
-                if nbr in work.qverts:
-                    # re-estimate overlap exactly from the merged mask
-                    w = space.overlap_rate(w_new.mask, work.qverts[nbr].mask)
-                work.set_edge(w_new.vid, nbr, w)
-            matched.add(w_new.vid)
-            merged_any = True
-        if not merged_any:
+        pairs = match_pass(work, qids)
+        if not pairs:
             break  # nothing left to collapse (graph may stay above vmax)
+        if not _collapse_pairs(work, pairs, space, origin, vmax, overlap):
+            break
     return work
 
 

@@ -49,6 +49,7 @@ from .graphs import (
     build_query_graph,
     qvertex_from_query,
 )
+from .fastcost import CostWorkspace
 from .hierarchy import Cluster
 from .insertion import attach_vertex, choose_target
 from .mapping import map_graph, refine_mapping
@@ -77,6 +78,7 @@ class AdaptationReport:
         self.refinement_moves: int = 0
 
     def absorb(self, stats: RebalanceStats, refinement: int) -> None:
+        """Fold one coordinator's rebalance statistics into the report."""
         self.coordinator_moves += stats.moved_vertices
         self.refinement_moves += refinement
 
@@ -167,6 +169,7 @@ class Coordinator:
         raise KeyError(vid)
 
     def all_coordinators(self) -> List["Coordinator"]:
+        """This coordinator plus every descendant (pre-order)."""
         out = [self]
         for child in self.children:
             out.extend(child.all_coordinators())
@@ -183,6 +186,7 @@ class Coordinator:
         return self.cpu_time + sum(c.total_time() for c in self.children)
 
     def reset_timers(self) -> None:
+        """Zero CPU-time accounting across the subtree."""
         for c in self.all_coordinators():
             c.cpu_time = 0.0
 
@@ -549,15 +553,18 @@ class Coordinator:
                 loads[target] += v.weight
                 positions[v.vid] = self.ng.site(target)
 
-        # phase A: diffusion-guided load re-balancing (Algorithm 3)
+        # phase A: diffusion-guided load re-balancing (Algorithm 3);
+        # both phases share one cost workspace over the unchanged graphs
         original = dict(self.assignment)
+        ws = CostWorkspace(self.qg, self.ng)
         stats = rebalance(
-            self.qg, self.ng, self.assignment, alpha=self.alpha, rng=self.rng
+            self.qg, self.ng, self.assignment, alpha=self.alpha,
+            rng=self.rng, workspace=ws,
         )
         # phase B: distribution refinement
         refinement = refine_distribution(
             self.qg, self.ng, self.assignment, original,
-            alpha=self.alpha, rng=self.rng,
+            alpha=self.alpha, rng=self.rng, workspace=ws,
         )
         report.absorb(stats, refinement)
         report.migrated_state += stats.moved_state

@@ -118,16 +118,21 @@ class Cosmos:
     # observability
     # ------------------------------------------------------------------
     def response_time(self) -> float:
+        """Critical-path optimization time (parallel coordinator model)."""
         return self.root.response_time()
 
     def total_time(self) -> float:
+        """Total CPU seconds across every coordinator."""
         return self.root.total_time()
 
     def reset_timers(self) -> None:
+        """Zero all coordinators' CPU-time accounting."""
         self.root.reset_timers()
 
     def tree_height(self) -> int:
+        """Number of coordinator levels in the tree."""
         return self.tree.height()
 
     def coordinator_count(self) -> int:
+        """Total number of coordinators in the tree."""
         return len(self.root.all_coordinators())

@@ -108,9 +108,11 @@ class CostWorkspace:
                 self.pos[i] = self._node_id(node)
 
     def set_position(self, vid: VertexId, target: VertexId) -> None:
+        """Record that ``vid`` now occupies ``target``'s site."""
         self.pos[self.vindex[vid]] = self._node_id(self.ng.site(target))
 
     def clear_position(self, vid: VertexId) -> None:
+        """Mark ``vid`` unplaced; it then contributes no cost."""
         self.pos[self.vindex[vid]] = -1
 
     def add_vertex(self, vid: VertexId) -> None:
@@ -152,6 +154,7 @@ class CostWorkspace:
         return self.attach_costs_idx(self.vindex[vid])
 
     def attach_costs_idx(self, i: int) -> np.ndarray:
+        """Like :meth:`attach_costs` but addressed by vertex index."""
         idx, w = self._neighbour_arrays(i)
         if idx.size == 0:
             return np.zeros(len(self.targets))
@@ -162,8 +165,10 @@ class CostWorkspace:
         return self.rows[:, p[mask]] @ w[mask]
 
     def attach_cost(self, vid: VertexId, target: VertexId) -> float:
+        """Scalar attach cost of placing ``vid`` on one ``target``."""
         return float(self.attach_costs(vid)[self.target_index[target]])
 
     def neighbour_indices(self, vid: VertexId) -> np.ndarray:
+        """Vertex indices of ``vid``'s neighbours (cached array)."""
         idx, _ = self._neighbour_arrays(self.vindex[vid])
         return idx

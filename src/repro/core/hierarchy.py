@@ -48,11 +48,19 @@ class Cluster:
         return out
 
     def size(self) -> int:
+        """Number of direct members (not descendants)."""
         return len(self.members)
 
 
 @dataclass
 class CoordinatorTree:
+    """The cluster hierarchy of Section 3.3.
+
+    ``root`` is the top cluster; ``k`` the paper's cluster-size parameter
+    (leaves hold between ``k`` and ``3k - 1`` processors); ``oracle``
+    answers inter-node latencies; ``processors`` lists every member.
+    """
+
     root: Cluster
     k: int
     oracle: LatencyOracle
@@ -69,6 +77,7 @@ class CoordinatorTree:
         return [by_level[lvl] for lvl in sorted(by_level)]
 
     def leaf_clusters(self) -> List[Cluster]:
+        """All childless clusters (the ones that own processors)."""
         out = []
         stack = [self.root]
         while stack:
@@ -80,9 +89,11 @@ class CoordinatorTree:
         return out
 
     def height(self) -> int:
+        """Number of coordinator levels (root's level; leaves are 1)."""
         return self.root.level
 
     def cluster_of_processor(self, node: int) -> Cluster:
+        """The leaf cluster holding ``node``; raises ``KeyError`` if absent."""
         for leaf in self.leaf_clusters():
             if node in leaf.members:
                 return leaf

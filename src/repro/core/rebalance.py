@@ -15,17 +15,24 @@ Two phases per coordinator per adaptation round:
    (1) move a vertex back to its original location when that keeps load
    balance and does not hurt the WEC, or (2) move it anywhere that lowers
    the WEC without breaking balance.
+
+Both phases evaluate move benefits through a
+:class:`~repro.core.fastcost.CostWorkspace`, so the cost of a vertex
+against *every* candidate target is one vectorised gather + matvec
+instead of a per-neighbour Python loop per target.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
+
+import numpy as np
 
 from .diffusion import diffusion_solution
+from .fastcost import CostWorkspace
 from .graphs import DEFAULT_ALPHA, Mapping, NetworkGraph, QueryGraph, VertexId
-from .mapping import _attach_cost, _positions
 
 __all__ = ["RebalanceStats", "rebalance", "refine_distribution"]
 
@@ -35,7 +42,12 @@ DEFAULT_BENEFIT_WINDOW = 0.10
 
 @dataclass
 class RebalanceStats:
-    """Observability for one coordinator-level rebalance."""
+    """Observability for one coordinator-level rebalance.
+
+    ``dirty`` collects the vertices moved at least once this round; a
+    dirty vertex can be moved again for free because physical migration
+    happens only after all decisions are made.
+    """
 
     moved_vertices: int = 0
     moved_weight: float = 0.0
@@ -46,20 +58,6 @@ class RebalanceStats:
     dirty: Set[VertexId] = field(default_factory=set)
 
 
-def _benefit(
-    qg: QueryGraph,
-    vid: VertexId,
-    source: VertexId,
-    dest: VertexId,
-    pos: Dict[VertexId, int],
-    ng: NetworkGraph,
-) -> float:
-    """WEC reduction of remapping ``vid`` from ``source`` to ``dest``."""
-    return _attach_cost(qg, vid, source, pos, ng) - _attach_cost(
-        qg, vid, dest, pos, ng
-    )
-
-
 def rebalance(
     qg: QueryGraph,
     ng: NetworkGraph,
@@ -68,10 +66,34 @@ def rebalance(
     benefit_window: float = DEFAULT_BENEFIT_WINDOW,
     rng: Optional[random.Random] = None,
     stats: Optional[RebalanceStats] = None,
+    workspace: Optional[CostWorkspace] = None,
 ) -> RebalanceStats:
     """Algorithm 3: realise the diffusion flows with vertex moves.
 
-    ``assignment`` is modified in place.  Returns move statistics.
+    Parameters
+    ----------
+    qg, ng:
+        The coordinator's query and network graphs.
+    assignment:
+        Current q-vertex -> child mapping; **modified in place**.
+    alpha:
+        Load-imbalance tolerance of Eqn 3.1.
+    benefit_window:
+        Fraction ``x`` of the best benefit within which a candidate is
+        still considered "among the best" (tie pool for the dirty /
+        load-density preferences).
+    rng:
+        Source of randomness for flow visiting order.
+    stats:
+        Optional pre-existing stats object to accumulate into.
+    workspace:
+        Optional pre-built cost workspace over ``(qg, ng)`` to reuse
+        (positions are re-seeded from ``assignment``).
+
+    Returns
+    -------
+    RebalanceStats
+        Move statistics for the round (also reflected in ``assignment``).
     """
     rng = rng or random.Random(0)
     stats = stats or RebalanceStats()
@@ -84,13 +106,15 @@ def rebalance(
     targets = {
         vid: ng.capability(vid) * total_q / total_c for vid in ng.ids()
     }
-    flows = diffusion_solution(loads, targets)
-    # ignore noise-level flows (< 0.1% of the average target load)
+    # ignore noise-level flows (< 0.1% of the average target load); the
+    # floor is applied inside the solver so they are never materialised
     floor = 1e-3 * (total_q / max(1, len(ng)))
-    flows = {k: v for k, v in flows.items() if v > floor}
+    flows = diffusion_solution(loads, targets, floor=floor)
     stats.flows_requested = len(flows)
 
-    pos = _positions(qg, assignment, ng)
+    ws = workspace or CostWorkspace(qg, ng)
+    ws.init_positions(assignment)
+    tindex = ws.target_index
     by_source: Dict[VertexId, List[VertexId]] = {}
     for vid in qg.qverts:
         by_source.setdefault(assignment[vid], []).append(vid)
@@ -112,9 +136,11 @@ def rebalance(
             remaining[(i, j)] = 0.0
             pairs.remove((i, j))
             continue
-        benefits = {
-            v: _benefit(qg, v, i, j, pos, ng) for v in movable
-        }
+        ti_i, ti_j = tindex[i], tindex[j]
+        benefits = {}
+        for v in movable:
+            costs = ws.attach_costs(v)
+            benefits[v] = float(costs[ti_i] - costs[ti_j])
         best_benefit = max(benefits.values())
         span = abs(best_benefit) if best_benefit != 0 else 1.0
         window = [
@@ -127,7 +153,7 @@ def rebalance(
 
         qv = qg.qverts[chosen]
         assignment[chosen] = j
-        pos[chosen] = ng.site(j)
+        ws.set_position(chosen, j)
         by_source[i].remove(chosen)
         by_source.setdefault(j, []).append(chosen)
         if chosen not in stats.dirty:
@@ -149,63 +175,75 @@ def refine_distribution(
     original: Mapping,
     alpha: float = DEFAULT_ALPHA,
     rng: Optional[random.Random] = None,
+    workspace: Optional[CostWorkspace] = None,
 ) -> int:
     """The distribution-refinement phase; returns the number of moves.
 
     ``original`` is the assignment at the start of the adaptation round
     (used for the "map back to its original location" rule, which undoes
-    migrations that turned out unnecessary).
+    migrations that turned out unnecessary).  ``assignment`` is modified
+    in place.  Candidate targets for every vertex are scored in one
+    vectorised cost evaluation rather than a per-target neighbour loop;
+    pass ``workspace`` to reuse a cost workspace built for the same
+    ``(qg, ng)`` pair (positions are re-seeded from ``assignment``).
     """
     rng = rng or random.Random(0)
-    limits = qg.capacity_limits(ng, alpha)
-    loads = qg.loads(assignment, ng)
-    pos = _positions(qg, assignment, ng)
+    ws = workspace or CostWorkspace(qg, ng)
+    ws.init_positions(assignment)
+    tindex = ws.target_index
+    n_targets = len(ws.targets)
+
+    limits_map = qg.capacity_limits(ng, alpha)
+    limits = np.asarray([limits_map[t] for t in ws.targets])
+    loads_map = qg.loads(assignment, ng)
+    loads = np.asarray([loads_map[t] for t in ws.targets])
     moves = 0
     # equal-share targets: refinement must not undo the re-balancing phase,
     # so a move may neither push the destination above its ceiling nor
     # hollow the source below its fair share by more than alpha
     total_q = qg.total_qweight()
     total_c = ng.total_capability()
-    share = {
-        vid: ng.capability(vid) * total_q / total_c for vid in ng.ids()
-    }
+    share = np.asarray(
+        [ng.capability(t) * total_q / total_c for t in ws.targets]
+    )
 
     order = list(qg.qverts)
     rng.shuffle(order)
     for vid in order:
         qv = qg.qverts[vid]
         here = assignment[vid]
+        hi = tindex[here]
+        w = qv.weight
 
-        def fits(target: VertexId) -> bool:
-            if loads[target] + qv.weight > limits[target] + 1e-9:
-                return False
-            floor = (1.0 - alpha) * share[here]
-            return loads[here] - qv.weight >= floor - 1e-9
+        # the source side of the feasibility test is target-independent
+        source_ok = loads[hi] - w >= (1.0 - alpha) * share[hi] - 1e-9
+        if not source_ok:
+            continue
+        fits = loads + w <= limits + 1e-9
 
-        def apply(target: VertexId) -> None:
-            nonlocal moves
-            loads[assignment[vid]] -= qv.weight
+        costs = ws.attach_costs(vid)
+
+        def apply(ti: int, target: VertexId) -> None:
+            nonlocal moves, hi
+            loads[hi] -= w
             assignment[vid] = target
-            loads[target] += qv.weight
-            pos[vid] = ng.site(target)
+            loads[ti] += w
+            ws.set_position(vid, target)
             moves += 1
 
         # rule 1: go home if free
         home = original.get(vid)
-        if home is not None and home != here and fits(home):
-            if _benefit(qg, vid, here, home, pos, ng) >= -1e-9:
-                apply(home)
-                continue
+        if home is not None and home != here:
+            home_i = tindex.get(home)
+            if home_i is not None and fits[home_i]:
+                if costs[hi] - costs[home_i] >= -1e-9:
+                    apply(home_i, home)
+                    continue
         # rule 2: strict WEC improvement anywhere legal
-        best_target = None
-        best_gain = 1e-9
-        for target in ng.ids():
-            if target == here or not fits(target):
-                continue
-            gain = _benefit(qg, vid, here, target, pos, ng)
-            if gain > best_gain:
-                best_gain = gain
-                best_target = target
-        if best_target is not None:
-            apply(best_target)
+        gains = costs[hi] - costs
+        gains = np.where(fits, gains, -np.inf)
+        gains[hi] = -np.inf
+        ti = int(np.argmax(gains))
+        if gains[ti] > 1e-9:
+            apply(ti, ws.targets[ti])
     return moves

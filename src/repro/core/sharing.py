@@ -184,6 +184,7 @@ class SharingDeployment:
                             dq.received.append(final)
 
     def run(self, trace: Sequence[StreamTuple]) -> None:
+        """Publish every tuple of a trace through the deployment."""
         for t in trace:
             self.publish(t)
 
@@ -193,10 +194,13 @@ class SharingDeployment:
         return sum(len(e.plans) for e in self.engines.values())
 
     def user_query_count(self) -> int:
+        """Queries submitted by users (before sharing)."""
         return len(self.deployed)
 
     def results_of(self, query_name: str) -> List[Event]:
+        """Result events delivered so far to one deployed query."""
         return self.deployed[query_name].received
 
     def weighted_data_cost(self) -> float:
+        """Traffic x latency accumulated on the pub/sub overlay."""
         return self.net.weighted_data_cost()

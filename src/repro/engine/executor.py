@@ -43,6 +43,7 @@ class Engine:
         return plan
 
     def remove_query(self, name: str) -> None:
+        """Unregister a query plan and its stream subscriptions."""
         plan = self.plans.pop(name, None)
         if plan is None:
             raise KeyError(name)

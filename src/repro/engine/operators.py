@@ -48,6 +48,7 @@ class Operator:
     """Base class; subclasses implement :meth:`process`."""
 
     def process(self, t: StreamTuple) -> List[StreamTuple]:
+        """Consume one tuple; return zero or more output tuples."""
         raise NotImplementedError
 
     #: number of tuples this operator inspected (CPU accounting)
@@ -63,6 +64,7 @@ class Select(Operator):
         self.inspected = 0
 
     def process(self, t: StreamTuple) -> List[StreamTuple]:
+        """Pass ``t`` through iff every predicate holds."""
         self.inspected += 1
         values = dict(t.values)
         if all(evaluate_comparison(p, values) for p in self.predicates):
@@ -80,6 +82,7 @@ class Project(Operator):
         self.inspected = 0
 
     def process(self, t: StreamTuple) -> List[StreamTuple]:
+        """Project ``t`` onto the selected attributes (keeps timestamps)."""
         self.inspected += 1
         if self.attributes is None:
             values = dict(t.values)
@@ -122,9 +125,11 @@ class WindowJoin(Operator):
         self.inspected = 0
 
     def state_size(self) -> int:
+        """Tuples currently buffered across both join windows."""
         return len(self.left_window) + len(self.right_window)
 
     def process_side(self, alias: str, t: StreamTuple) -> List[StreamTuple]:
+        """Insert ``t`` on its side and join it against the other window."""
         if alias == self.left_alias:
             own, other = self.left_window, self.right_window
             own_alias, other_alias = self.left_alias, self.right_alias
@@ -149,4 +154,5 @@ class WindowJoin(Operator):
         return out
 
     def process(self, t: StreamTuple) -> List[StreamTuple]:
+        """Unsupported: a join needs to know which side ``t`` arrives on."""
         raise TypeError("WindowJoin requires process_side(alias, tuple)")

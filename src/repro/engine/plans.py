@@ -36,6 +36,7 @@ class QueryPlan:
         self.results_emitted = 0
 
     def aliases(self) -> List[str]:
+        """Input aliases the plan accepts in :meth:`push`."""
         return self.query.aliases()
 
     def push(self, alias: str, t: StreamTuple) -> List[StreamTuple]:
@@ -66,6 +67,7 @@ class QueryPlan:
         return total
 
     def state_size(self) -> int:
+        """Tuples held in operator state (join windows); 0 without a join."""
         return self.join.state_size() if self.join is not None else 0
 
 

@@ -48,6 +48,7 @@ class SensorStation:
 
     @property
     def schema(self) -> Schema:
+        """The station's stream schema (standard sensor attributes)."""
         return Schema(stream=self.stream, attributes=SENSOR_ATTRIBUTES)
 
     def reading(self, timestamp: float) -> StreamTuple:
@@ -78,6 +79,7 @@ class SensorStation:
         )
 
     def trace(self, start: float, count: int) -> List[StreamTuple]:
+        """``count`` consecutive readings starting at ``start``."""
         return [self.reading(start + i * self.period) for i in range(count)]
 
 
@@ -95,6 +97,7 @@ class SensorFleet:
         period: float = 60.0,
         seed: int = 0,
     ) -> "SensorFleet":
+        """``count`` stations with randomised per-station baselines."""
         rng = random.Random(seed)
         stations = [
             SensorStation(
@@ -111,6 +114,7 @@ class SensorFleet:
         return cls(stations=stations)
 
     def streams(self) -> List[str]:
+        """Stream names of all stations, in station order."""
         return [s.stream for s in self.stations]
 
     def trace(self, start: float, steps: int) -> List[StreamTuple]:

@@ -22,6 +22,7 @@ class Schema:
             )
 
     def validate(self, values: Mapping[str, Any]) -> None:
+        """Raise ``ValueError`` if ``values`` has non-schema attributes."""
         unknown = set(values) - set(self.attributes)
         if unknown:
             raise ValueError(
@@ -42,9 +43,11 @@ class StreamTuple:
 
     @property
     def timestamp(self) -> float:
+        """The tuple's timestamp in seconds."""
         return float(self.values["timestamp"])
 
     def get(self, attr: str, default: Any = None) -> Any:
+        """Attribute lookup with a default, like ``dict.get``."""
         return self.values.get(attr, default)
 
     def qualify(self, alias: str) -> Dict[str, Any]:

@@ -36,11 +36,13 @@ class ExperimentConfig:
     seed: int = 0
 
     def with_queries(self, num_queries: int) -> "ExperimentConfig":
+        """Copy of this config with a different query-population size."""
         from dataclasses import replace
 
         return replace(self, workload=replace(self.workload, num_queries=num_queries))
 
     def with_k(self, k: int) -> "ExperimentConfig":
+        """Copy of this config with a different cluster-size parameter."""
         from dataclasses import replace
 
         return replace(self, cosmos=replace(self.cosmos, k=k))
@@ -97,6 +99,7 @@ class Testbed:
     cost_model: CostModel
 
     def new_cosmos(self, config: Optional[CosmosConfig] = None) -> Cosmos:
+        """A fresh Cosmos instance over this testbed's resources."""
         return Cosmos(
             self.oracle,
             self.processors,
@@ -105,9 +108,11 @@ class Testbed:
         )
 
     def cost(self, placement: Dict[int, int]) -> float:
+        """Weighted communication cost of a placement (Section 4 metric)."""
         return self.cost_model.weighted_cost(placement, self.workload.queries)
 
     def stddev(self, placement: Dict[int, int]) -> float:
+        """Capability-normalised load standard deviation of a placement."""
         from ..sim.metrics import load_stddev
 
         return load_stddev(placement, self.workload.queries, self.processors)

@@ -136,11 +136,7 @@ class CostModel:
                     source, hosts
                 )
         else:
-            for sid, hosts in interested.items():
-                source = int(self.space.source_of[sid])
-                rate = float(self.space.rates[sid])
-                for host in hosts:
-                    total += rate * self.distance(source, host)
+            total += self._unicast_source_cost(interested)
 
         for q in queries:
             host = placement[q.query_id]
@@ -151,6 +147,39 @@ class CostModel:
                     total += q.result_rate * self.distance(host, q.proxy)
         return total
 
+    def _unicast_source_cost(self, interested: Dict[int, set]) -> float:
+        """Source-delivery cost, vectorised over each source's row.
+
+        When the distance oracle exposes cached per-node rows
+        (:meth:`~repro.topology.latency.LatencyOracle.row`), the cost of
+        one source serving all its substreams' hosts is a single gather;
+        otherwise fall back to scalar distance calls.
+        """
+        row_of = getattr(self.distance, "row", None)
+        if row_of is None:
+            total = 0.0
+            for sid, hosts in interested.items():
+                source = int(self.space.source_of[sid])
+                rate = float(self.space.rates[sid])
+                for host in hosts:
+                    total += rate * self.distance(source, host)
+            return total
+
+        # group substreams by source so each row is fetched once
+        by_source: Dict[int, List[int]] = {}
+        for sid in interested:
+            by_source.setdefault(int(self.space.source_of[sid]), []).append(sid)
+        total = 0.0
+        rates = self.space.rates
+        for source, sids in by_source.items():
+            row = np.asarray(row_of(source))
+            for sid in sids:
+                hosts = np.fromiter(
+                    interested[sid], dtype=np.int64, count=len(interested[sid])
+                )
+                total += float(rates[sid]) * float(row[hosts].sum())
+        return total
+
 
 def load_stddev(
     placement: Dict[int, int],
@@ -158,12 +187,25 @@ def load_stddev(
     processors: Sequence[int],
     capabilities: Optional[Dict[int, float]] = None,
 ) -> float:
-    """Standard deviation of per-processor load (capability-normalised)."""
+    """Standard deviation of per-processor load (capability-normalised).
+
+    Accumulation is one ``bincount`` over processor indices rather than a
+    per-query dictionary update.
+    """
     capabilities = capabilities or {}
-    loads = {p: 0.0 for p in processors}
-    for q in queries:
-        loads[placement[q.query_id]] += q.load
-    values = [
-        loads[p] / capabilities.get(p, 1.0) for p in processors
-    ]
-    return float(np.std(values))
+    index = {p: i for i, p in enumerate(processors)}
+    hosts = np.fromiter(
+        (index[placement[q.query_id]] for q in queries),
+        dtype=np.int64,
+        count=len(queries),
+    )
+    weights = np.fromiter(
+        (q.load for q in queries), dtype=float, count=len(queries)
+    )
+    loads = np.bincount(hosts, weights=weights, minlength=len(processors))
+    caps = np.fromiter(
+        (capabilities.get(p, 1.0) for p in processors),
+        dtype=float,
+        count=len(processors),
+    )
+    return float(np.std(loads / caps))

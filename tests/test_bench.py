@@ -1,0 +1,112 @@
+"""Tests for the benchmark subsystem: registry, timers, report, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCALES,
+    SCENARIOS,
+    Timing,
+    format_table,
+    measure,
+    run_scenarios,
+    validate_report,
+    write_report,
+)
+from repro.bench.cli import main
+from repro.bench.scenarios import SyntheticOracle, synthetic_testbed
+
+
+class TestTimers:
+    def test_measure_returns_result_and_timing(self):
+        result, timing = measure(lambda: 42, repeat=3)
+        assert result == 42
+        assert isinstance(timing, Timing)
+        assert timing.repeat == 3
+        assert 0 <= timing.best <= timing.mean
+
+    def test_measure_rejects_zero_repeat(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeat=0)
+
+
+class TestSyntheticFixtures:
+    def test_oracle_is_metric_like(self):
+        oracle = SyntheticOracle(10, seed=1)
+        assert oracle(3, 3) == 0.0
+        assert oracle(2, 7) == pytest.approx(oracle(7, 2))
+        assert len(oracle.row(0)) == 10
+
+    def test_testbed_shapes(self):
+        qg, ng, space, mapping = synthetic_testbed(
+            num_queries=30, num_processors=5,
+            num_substreams=200, num_sources=4,
+        )
+        assert len(qg.qverts) == 30
+        assert len(ng) == 5
+        assert set(mapping) == set(qg.qverts)
+        assert all(t in ng.vertices for t in mapping.values())
+
+
+class TestRegistry:
+    def test_expected_scenarios_registered(self):
+        for name in (
+            "wec_eval", "diffusion", "coarsening",
+            "attach_costs", "rebalance", "distribute_e2e",
+        ):
+            assert name in SCENARIOS
+
+    def test_scales_have_required_keys(self):
+        for scale in SCALES.values():
+            assert {"wec_queries", "processors", "repeat"} <= set(scale)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            run_scenarios("smoke", only=["nope"])
+
+
+class TestReportRoundtrip:
+    def test_write_validate_format(self, tmp_path):
+        results = run_scenarios("smoke", only=["wec_eval", "diffusion"])
+        assert [r["name"] for r in results] == ["wec_eval", "diffusion"]
+        out = tmp_path / "BENCH_core.json"
+        report = write_report(results, str(out), "smoke")
+        assert report["schema"] == "cosmos-bench/1"
+        loaded = validate_report(str(out))
+        assert loaded["scale"] == "smoke"
+        assert len(loaded["scenarios"]) == 2
+        table = format_table(results)
+        assert "wec_eval" in table and "speedup" in table
+
+    def test_validate_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "cosmos-bench/1"}))
+        with pytest.raises(ValueError):
+            validate_report(str(bad))
+        bad.write_text(json.dumps({"schema": "other", "scenarios": [{}]}))
+        with pytest.raises(ValueError):
+            validate_report(str(bad))
+
+    def test_wec_scenario_meets_speedup_and_parity(self):
+        # even at smoke scale the vectorised WEC is well past 5x
+        (result,) = run_scenarios("smoke", only=["wec_eval"])
+        assert result["speedup"] >= 5.0
+        assert result["parity"]["rel_err"] < 1e-9
+
+
+class TestCli:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "wec_eval" in out
+
+    def test_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            ["--scale", "smoke", "--scenario", "diffusion",
+             "--out", str(out)]
+        )
+        assert code == 0
+        report = validate_report(str(out))
+        assert report["scenarios"][0]["name"] == "diffusion"

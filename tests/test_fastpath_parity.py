@@ -1,0 +1,216 @@
+"""Fast-path parity: vectorized kernels match the pure-Python references.
+
+Every vectorised kernel introduced for the optimizer keeps its reference
+implementation; these property-style tests assert both paths agree on
+randomized workloads:
+
+* ``QueryGraph.wec`` (GraphArrays gather) vs ``QueryGraph.wec_reference``
+* ``GraphArrays.loads`` vs ``QueryGraph.loads``
+* ``diffusion_solution`` (closed form) vs ``diffusion_solution_reference``
+* ``coarsen(fast=True)`` vs ``coarsen(fast=False)`` -- identical graphs
+* ``CostWorkspace.attach_costs`` vs the scalar ``_attach_cost`` loop
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coarsening import coarsen
+from repro.core.diffusion import diffusion_solution, diffusion_solution_reference
+from repro.core.fastcost import CostWorkspace
+from repro.core.graphs import (
+    GraphArrays,
+    NetVertex,
+    NetworkGraph,
+    build_query_graph,
+    qvertex_from_query,
+)
+from repro.core.mapping import _attach_cost, _positions, map_graph
+from repro.query.interest import SubstreamSpace, mask_of
+from repro.query.workload import QuerySpec
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SubstreamSpace.random(400, sources=[0, 50, 100], seed=7)
+
+
+@pytest.fixture(scope="module")
+def ng():
+    return NetworkGraph(
+        [
+            NetVertex(vid=f"P{i}", site=i * 7, capability=1.0,
+                      covers=frozenset([i * 7]))
+            for i in range(5)
+        ],
+        lambda a, b: abs(a - b),
+    )
+
+
+def make_graph(space, ng, n, seed=0):
+    rng = random.Random(seed)
+    queries = []
+    for i in range(n):
+        ids = rng.sample(range(len(space)), rng.randint(4, 18))
+        mask = mask_of(ids)
+        queries.append(
+            QuerySpec(
+                query_id=i,
+                proxy=rng.choice([0, 7, 14, 21, 28]),
+                mask=mask,
+                group=0,
+                load=0.01 * space.rate(mask),
+                result_rate=1.0,
+                state_size=rng.uniform(1, 5),
+            )
+        )
+    return build_query_graph(
+        [qvertex_from_query(q, space) for q in queries], space, ng
+    )
+
+
+def random_mapping(g, ng, seed=0):
+    rng = random.Random(seed)
+    targets = ng.ids()
+    return {vid: rng.choice(targets) for vid in g.qverts}
+
+
+class TestWECParity:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_vectorized_matches_reference(self, space, ng, seed):
+        g = make_graph(space, ng, 30, seed=seed % 7)
+        mapping = random_mapping(g, ng, seed=seed)
+        fast = g.wec(mapping, ng)
+        ref = g.wec_reference(mapping, ng)
+        assert fast == pytest.approx(ref, rel=1e-9, abs=1e-9)
+
+    def test_snapshot_cache_invalidated_on_mutation(self, space, ng):
+        g = make_graph(space, ng, 12, seed=1)
+        mapping = random_mapping(g, ng, seed=1)
+        before = g.wec(mapping, ng)
+        vids = list(g.qverts)
+        g.set_edge(vids[0], vids[1], 123.0)
+        after = g.wec(mapping, ng)
+        assert after == pytest.approx(g.wec_reference(mapping, ng))
+        assert after != pytest.approx(before)
+
+    def test_empty_graph(self, space, ng):
+        g = build_query_graph([], space, ng)
+        assert g.wec({}, ng) == 0.0
+
+    def test_snapshot_invalidated_by_clear_edges(self, space, ng):
+        # rebuild_edges resets adjacency via clear_edges(); the cached
+        # snapshot must not survive it even when no edge is re-added
+        g = make_graph(space, ng, 10, seed=2)
+        mapping = random_mapping(g, ng, seed=2)
+        assert g.wec(mapping, ng) > 0.0
+        g.clear_edges()
+        assert g.wec(mapping, ng) == 0.0
+
+    def test_loads_parity(self, space, ng):
+        g = make_graph(space, ng, 25, seed=3)
+        mapping = random_mapping(g, ng, seed=3)
+        fast = g.arrays_for(ng).loads(mapping)
+        ref = g.loads(mapping, ng)
+        for i, t in enumerate(ng.ids()):
+            assert fast[i] == pytest.approx(ref[t])
+
+    def test_mapped_graph_wec_consistent(self, space, ng):
+        # end to end: the mapping pipeline's reported WEC agrees with
+        # both evaluation paths
+        g = make_graph(space, ng, 30, seed=4)
+        result = map_graph(g, ng)
+        assert result.wec == pytest.approx(g.wec(result.mapping, ng))
+        assert result.wec == pytest.approx(
+            g.wec_reference(result.mapping, ng)
+        )
+
+    def test_no_oracle_distance_matrix(self, space, ng):
+        # ng has no oracle: GraphArrays must fall back to pairwise
+        # site_distance calls and still agree
+        g = make_graph(space, ng, 15, seed=5)
+        arrays = GraphArrays(g, ng)
+        assert arrays.D.shape[0] == arrays.D.shape[1]
+        mapping = random_mapping(g, ng, seed=5)
+        assert arrays.wec(mapping) == pytest.approx(
+            g.wec_reference(mapping, ng)
+        )
+
+
+class TestDiffusionParity:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        loads=st.lists(
+            st.floats(0.0, 100.0, allow_subnormal=False),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    def test_flows_match_reference(self, loads):
+        if sum(loads) <= 1e-6:
+            return
+        nodes = {f"n{i}": l for i, l in enumerate(loads)}
+        targets = {n: 1.0 for n in nodes}
+        fast = diffusion_solution(nodes, targets)
+        ref = diffusion_solution_reference(nodes, targets)
+        keys = set(fast) | set(ref)
+        for k in keys:
+            assert fast.get(k, 0.0) == pytest.approx(
+                ref.get(k, 0.0), abs=1e-9
+            )
+
+    def test_both_reject_zero_targets(self):
+        for fn in (diffusion_solution, diffusion_solution_reference):
+            with pytest.raises(ValueError):
+                fn({"a": 1.0, "b": 1.0}, {"a": 0.0, "b": 0.0})
+
+    def test_both_trivial_on_single_node(self):
+        assert diffusion_solution({"a": 3.0}, {"a": 1.0}) == {}
+        assert diffusion_solution_reference({"a": 3.0}, {"a": 1.0}) == {}
+
+
+class TestCoarseningParity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), vmax=st.integers(5, 30))
+    def test_identical_partition_and_edges(self, space, ng, seed, vmax):
+        g = make_graph(space, ng, 40, seed=seed % 5)
+        fast = coarsen(g, vmax, space, rng=random.Random(seed), fast=True)
+        ref = coarsen(g, vmax, space, rng=random.Random(seed), fast=False)
+
+        def partition(cg):
+            return sorted(
+                tuple(sorted(v.members)) for v in cg.qverts.values()
+            )
+
+        assert partition(fast) == partition(ref)
+        assert fast.total_qweight() == pytest.approx(ref.total_qweight())
+
+        def edge_set(cg):
+            return {
+                (frozenset((tuple(sorted(cg.qverts[a].members))
+                            if a in cg.qverts else a,
+                            tuple(sorted(cg.qverts[b].members))
+                            if b in cg.qverts else b)), round(w, 9))
+                for a, b, w in cg.edges()
+            }
+
+        assert edge_set(fast) == edge_set(ref)
+
+
+class TestAttachCostParity:
+    def test_workspace_matches_scalar_reference(self, space, ng):
+        g = make_graph(space, ng, 30, seed=9)
+        mapping = random_mapping(g, ng, seed=9)
+        pos = _positions(g, mapping, ng)
+        ws = CostWorkspace(g, ng)
+        ws.init_positions(mapping)
+        for vid in list(g.qverts)[:10]:
+            fast = ws.attach_costs(vid)
+            for i, t in enumerate(ng.ids()):
+                assert fast[i] == pytest.approx(
+                    _attach_cost(g, vid, t, pos, ng), rel=1e-9, abs=1e-9
+                )
