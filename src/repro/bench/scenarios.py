@@ -38,25 +38,46 @@ from .timers import measure
 
 __all__ = ["SCALES", "SCENARIOS", "run_scenarios", "scenario", "SyntheticOracle"]
 
-#: scenario sizes; "full" is the acceptance scale of ISSUE 1
+#: scenario sizes; "full" is the acceptance scale of ISSUE 1.  The ``sim``
+#: sub-dict sizes the discrete-event simulator scenarios (ISSUE 2):
+#: ``topology`` is (transit_domains, transit_nodes, stubs_per_transit,
+#: stub_nodes) and rates are tuples/s per substream.
 SCALES: Dict[str, Dict] = {
     "smoke": dict(
         wec_queries=200, processors=8, substreams=500, sources=10,
         diffusion_nodes=16, coarsen_queries=80, coarsen_vmax=20,
         attach_sample=50, rebalance_queries=150, rebalance_processors=8,
         e2e_queries=100, repeat=2,
+        sim=dict(
+            topology=(2, 3, 2, 4), sources=4, processors=8,
+            substreams=40, queries=24, duration=20.0,
+            sample_interval=4.0, adapt_interval=8.0,
+            churn_arrival=0.4, churn_lifetime=12.0,
+        ),
     ),
     "quick": dict(
         wec_queries=1000, processors=64, substreams=2000, sources=20,
         diffusion_nodes=128, coarsen_queries=400, coarsen_vmax=80,
         attach_sample=100, rebalance_queries=500, rebalance_processors=32,
         e2e_queries=300, repeat=3,
+        sim=dict(
+            topology=(2, 3, 2, 4), sources=6, processors=16,
+            substreams=80, queries=60, duration=40.0,
+            sample_interval=5.0, adapt_interval=10.0,
+            churn_arrival=0.6, churn_lifetime=20.0,
+        ),
     ),
     "full": dict(
         wec_queries=10000, processors=1000, substreams=20000, sources=100,
         diffusion_nodes=1000, coarsen_queries=2000, coarsen_vmax=150,
         attach_sample=100, rebalance_queries=2000, rebalance_processors=64,
         e2e_queries=1500, repeat=3,
+        sim=dict(
+            topology=(3, 3, 2, 5), sources=10, processors=32,
+            substreams=160, queries=120, duration=60.0,
+            sample_interval=6.0, adapt_interval=12.0,
+            churn_arrival=1.0, churn_lifetime=30.0,
+        ),
     ),
 }
 
@@ -390,3 +411,9 @@ def run_scenarios(
         result["name"] = name
         results.append(result)
     return results
+
+
+# registering the discrete-event simulator scenarios (sim_steady,
+# sim_churn, sim_hotspot) imports this module back for the decorator, so
+# the import must come after SCENARIOS/scenario are defined
+from . import sim_scenarios  # noqa: E402,F401  (registration side effect)

@@ -105,7 +105,14 @@ class Coordinator:
         self.vmax = vmax
         self.alpha = alpha
         self.capabilities = capabilities or {}
-        self.rng = random.Random(seed ^ cluster.cluster_id)
+        # rng seeded from *tree-local* facts (level, median, first member)
+        # rather than the process-global cluster_id counter: two Cosmos
+        # instances built in one process must behave identically, which is
+        # what makes repeated simulator runs reproduce bit-identical traces
+        stable_id = (
+            cluster.level * 1_000_003 + cluster.coordinator
+        ) * 1_000_003 + min(cluster.members)
+        self.rng = random.Random(seed ^ stable_id)
         self.max_overlap_neighbors = max_overlap_neighbors
         #: query_id -> processor; shared by the whole tree (leaves write it)
         self.placement: Dict[int, int] = placement if placement is not None else {}
@@ -384,6 +391,58 @@ class Coordinator:
             return processor
         return self._child_by_vid(target).insert(v)
 
+    def remove_query(self, query_id: int) -> bool:
+        """Remove one atomic query from this subtree's state (Section 3.6
+        in reverse: query departure).
+
+        The query may sit inside a coarse vertex at upper levels; coarse
+        vertices are stripped of the departed member in place (weight,
+        mask and rate maps re-aggregated from the remaining children) so
+        later adaptation rounds and insert routing no longer account for
+        it.  Vertex *objects* are shared between adjacent levels (a
+        child's vertices are the parent vertices' ``children``), so one
+        strip cascades into every level holding the same coarse object;
+        the recursion still visits the whole subtree because each level
+        must drop vanished vertices from its own dictionaries.  Edge
+        weights touching a stripped vertex go stale until the next graph
+        rebuild, exactly like after a statistics refresh.  Returns False
+        when the query is unknown to this subtree.
+        """
+        found = self._remove_query_level(query_id)
+        if found:
+            # descendants sharing a stripped coarse object may have had
+            # their vertices cleaned without noticing (their own owner
+            # search misses), yet their cached per-child masks/loads
+            # still count the departed query -- invalidate routing state
+            # once over the whole subtree (lazily rebuilt on next insert)
+            for coord in self.all_coordinators():
+                coord._invalidate_routing_state()
+        return found
+
+    def _remove_query_level(self, query_id: int) -> bool:
+        t0 = time.perf_counter()
+        found = False
+        owner_vid = next(
+            (vid for vid, v in self.vertices.items() if query_id in v.members),
+            None,
+        )
+        if owner_vid is not None:
+            found = True
+            v = self.vertices[owner_vid]
+            if v.members == (query_id,):
+                # the query's last trace at this level: drop the vertex
+                del self.vertices[owner_vid]
+                self.assignment.pop(owner_vid, None)
+                if owner_vid in self.qg.qverts:
+                    self.qg.remove_vertex(owner_vid)
+            else:
+                _strip_member(v, query_id)
+        self.cpu_time += time.perf_counter() - t0
+        for child in self.children:
+            if child._remove_query_level(query_id):
+                found = True
+        return found
+
     def _ensure_routing_state(self) -> None:
         """(Re)build the per-child aggregate masks and loads if stale."""
         if getattr(self, "_child_masks", None) is not None:
@@ -603,6 +662,38 @@ class Coordinator:
         for coord in self.all_coordinators():
             for v in coord.vertices.values():
                 _refresh_vertex(v, query_loads, self.space, memo)
+
+
+def _strip_member(v: QVertex, query_id: int) -> None:
+    """Remove one atomic member from a coarse vertex, in place.
+
+    Recurses into the child holding the member, drops it, and re-aggregates
+    weight / mask / rate maps / state from the surviving children (the same
+    aggregation :func:`~repro.core.coarsening.merge_qvertices` builds).
+    """
+    keep: List[QVertex] = []
+    for child in v.children:
+        if query_id in child.members:
+            if child.members == (query_id,):
+                continue
+            _strip_member(child, query_id)
+        keep.append(child)
+    v.children = tuple(keep)
+    v.members = tuple(m for c in keep for m in c.members)
+    v.weight = sum(c.weight for c in keep)
+    v.state_size = sum(c.state_size for c in keep)
+    mask = 0
+    source_rates: Dict[int, float] = {}
+    proxy_rates: Dict[int, float] = {}
+    for c in keep:
+        mask |= c.mask
+        for node, rate in c.source_rates.items():
+            source_rates[node] = source_rates.get(node, 0.0) + rate
+        for node, rate in c.proxy_rates.items():
+            proxy_rates[node] = proxy_rates.get(node, 0.0) + rate
+    v.mask = mask
+    v.source_rates = source_rates
+    v.proxy_rates = proxy_rates
 
 
 def _refresh_vertex(

@@ -103,15 +103,43 @@ class Cosmos:
         v = qvertex_from_query(query, self.space)
         return self.root.insert(v)
 
+    def remove(self, query_id: int) -> bool:
+        """Remove a departed query from the tree state and the placement.
+
+        The inverse of :meth:`insert`, used by churn scenarios: the
+        coordinator hierarchy strips the query from every (possibly
+        coarse) vertex holding it so adaptation and insert routing stop
+        accounting for it.  Returns False for unknown query ids.
+        """
+        self._known_queries.pop(query_id, None)
+        found = self.root.remove_query(query_id)
+        self.root.placement.pop(query_id, None)
+        return found
+
     def adapt(self) -> AdaptationReport:
         """One adaptation round (Section 3.7)."""
         return self.root.adapt()
 
-    def refresh_statistics(self, workload: Workload) -> None:
+    def refresh_statistics(self, workload: Workload, rates=None) -> None:
         """Statistics collection (Section 3.8): re-estimate query loads and
-        per-source rates after stream-rate changes."""
-        workload.refresh_loads()
+        per-source rates after stream-rate changes.
+
+        ``rates`` optionally supplies *measured* per-substream rates (e.g.
+        sampled from the discrete-event simulator's arrival process) in
+        place of the space's nominal expected rates.
+        """
+        workload.refresh_loads(rates=rates)
         loads = {q.query_id: q.load for q in workload.queries}
+        self.root.refresh_statistics(loads)
+
+    def refresh_measured_loads(self, loads: Dict[int, float]) -> None:
+        """Push per-query loads *measured* by running engines (Section 3.8)
+        into the tree, updating the known query specs alongside the
+        (possibly coarse) graph vertices."""
+        for query_id, load in loads.items():
+            spec = self._known_queries.get(query_id)
+            if spec is not None:
+                spec.load = load
         self.root.refresh_statistics(loads)
 
     # ------------------------------------------------------------------

@@ -42,8 +42,15 @@ class Engine:
             self._readers[b.stream].append((name, b.alias))
         return plan
 
-    def remove_query(self, name: str) -> None:
-        """Unregister a query plan and its stream subscriptions."""
+    def remove_query(self, name: str) -> QueryPlan:
+        """Unregister a query plan; returns it with operator state intact.
+
+        Every trace of the query is dropped -- stream subscriptions, result
+        sinks *and* the ``results`` buffer -- so churned queries do not leak
+        memory across a long-running simulation.  The returned plan still
+        holds its window state, which is what a migration hands to the
+        destination engine (see :meth:`adopt_plan`).
+        """
         plan = self.plans.pop(name, None)
         if plan is None:
             raise KeyError(name)
@@ -52,6 +59,26 @@ class Engine:
             if not readers:
                 del self._readers[stream]
         self._sinks.pop(name, None)
+        self.results.pop(name, None)
+        return plan
+
+    def adopt_plan(self, plan: QueryPlan) -> QueryPlan:
+        """Register an already-compiled plan, operator state included.
+
+        The receiving side of a query migration: the source engine detaches
+        the plan with :meth:`remove_query` and the destination adopts it, so
+        join windows survive the move (the state whose transfer cost the
+        optimizer charges migrations for).
+        """
+        name = plan.query.name
+        if not name:
+            raise ValueError("adopted plans need a named query")
+        if name in self.plans:
+            raise ValueError(f"duplicate query name {name!r}")
+        self.plans[name] = plan
+        for b in plan.query.bindings:
+            self._readers[b.stream].append((name, b.alias))
+        return plan
 
     def on_result(self, name: str, sink: Callable[[StreamTuple], None]) -> None:
         """Register a callback for a query's result tuples."""
@@ -69,6 +96,31 @@ class Engine:
                 self.results[name].append(result)
                 out.append(result)
                 for sink in self._sinks.get(name, []):
+                    sink(result)
+        return out
+
+    def push_query(self, name: str, t: StreamTuple) -> List[StreamTuple]:
+        """Route one tuple to a single named plan (simulator delivery path).
+
+        The pub/sub layer delivers each substream tuple once per subscribed
+        query, so the simulator addresses plans individually instead of
+        fanning out by stream name.  Results are returned and sent to the
+        query's sinks but *not* buffered in :attr:`results` -- in a
+        long-running simulation the caller owns result retention.  Unknown
+        names are a no-op (the query may have just churned away).
+        """
+        plan = self.plans.get(name)
+        if plan is None:
+            return []
+        out: List[StreamTuple] = []
+        # the plan's own bindings (at most 2) say which aliases read this
+        # stream -- no need to scan the engine-wide reader lists
+        for b in plan.query.bindings:
+            if b.stream != t.stream:
+                continue
+            for result in plan.push(b.alias, t):
+                out.append(result)
+                for sink in self._sinks.get(name, ()):
                     sink(result)
         return out
 

@@ -11,6 +11,11 @@ decrease ("D"), shifting both communication cost and processor load
 
 Reported per perturbation: weighted communication cost, load standard
 deviation, and cumulative query migrations of Adaptive vs Remapping.
+
+Load statistics can come from the static rate model (the original path)
+or be *measured* from the discrete-event simulator's arrival process
+(``load_source="sim"``), which adds realistic sampling noise to the
+numbers adaptation reacts to.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
+
+import numpy as np
 
 from ..baselines.simple import centralized_placement
 from .config import ExperimentConfig, bench_scale, build_testbed
@@ -52,16 +59,32 @@ def run(
     pattern: Sequence[str] = PERTURBATION_PATTERN,
     perturbed_streams: int = 160,
     increase_factor: float = 3.0,
+    load_source: str = "static",
+    measure_duration: float = 60.0,
 ) -> Fig10Series:
     """Perturb ``perturbed_streams`` random substreams per step.
 
     The bench default (160) keeps the paper's ratio: 800 perturbed out of
     20,000 substreams = 4%.
+
+    ``load_source`` selects where the refreshed load statistics come
+    from after each perturbation:
+
+    * ``"static"`` (default, the original path) -- the space's nominal
+      expected rates, i.e. the optimizer is told the exact new rates;
+    * ``"sim"`` -- rates *measured* by sampling the discrete-event
+      simulator's Poisson tuple-arrival process over ``measure_duration``
+      simulated seconds (:func:`repro.sim.workload.measure_rates`), so
+      adaptation reacts to noisy observations the way a deployed system
+      would (Section 3.8's statistics collection).
     """
+    if load_source not in ("static", "sim"):
+        raise ValueError(f"unknown load source {load_source!r}")
     config = config or bench_scale()
     bed = build_testbed(config)
     queries = bed.workload.queries
     rng = random.Random(config.seed + 10)
+    measure_rng = np.random.default_rng(config.seed + 10)
 
     cosmos = bed.new_cosmos()
     cosmos.distribute(queries)
@@ -89,7 +112,15 @@ def run(
         bed.workload.space.perturb_rates(streams, factor)
 
         # statistics collection notices the change (Section 3.8)
-        cosmos.refresh_statistics(bed.workload)
+        if load_source == "sim":
+            from ..sim.workload import measure_rates
+
+            measured = measure_rates(
+                bed.workload.space, measure_duration, measure_rng
+            )
+            cosmos.refresh_statistics(bed.workload, rates=measured)
+        else:
+            cosmos.refresh_statistics(bed.workload)
 
         report = cosmos.adapt()
         series.adaptive_migrations += report.migrated_queries

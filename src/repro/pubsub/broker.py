@@ -20,6 +20,9 @@ class Broker:
     table: RoutingTable = None  # type: ignore[assignment]
     #: (event, subscription) pairs delivered to local subscribers
     delivered: List[Tuple[Event, Subscription]] = field(default_factory=list)
+    #: keep the ``delivered`` log?  The discrete-event simulator routes
+    #: millions of tuples through one network and turns this off.
+    record_deliveries: bool = True
 
     def __post_init__(self):
         if self.table is None:
@@ -29,12 +32,14 @@ class Broker:
         """Deliver ``event`` to every matching local subscription.
 
         Each local subscriber receives its own projected copy; the pairs
-        are recorded for test observability and returned.
+        are recorded for test observability (unless ``record_deliveries``
+        is off) and returned.
         """
         out = []
         for sub in self.table.matching_local_subscriptions(event):
             projected = sub.deliverable(event)
-            self.delivered.append((projected, sub))
+            if self.record_deliveries:
+                self.delivered.append((projected, sub))
             out.append((projected, sub))
         return out
 

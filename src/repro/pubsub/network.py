@@ -41,16 +41,21 @@ def _edge(u: int, v: int) -> Tuple[int, int]:
 class PubSubNetwork:
     """A content-based pub/sub service over an overlay tree."""
 
-    def __init__(self, tree: OverlayTree):
+    def __init__(self, tree: OverlayTree, record_deliveries: bool = True):
         if not tree.is_tree():
             raise ValueError("pub/sub overlay must be an acyclic connected tree")
         self.tree = tree
-        self.brokers: Dict[int, Broker] = {n: Broker(node=n) for n in tree.nodes}
+        self.brokers: Dict[int, Broker] = {
+            n: Broker(node=n, record_deliveries=record_deliveries)
+            for n in tree.nodes
+        }
         #: cumulative data bytes forwarded per link
         self.link_bytes: Dict[Tuple[int, int], float] = {}
         #: cumulative control bytes (advertisement/subscription propagation)
         self.control_bytes: Dict[Tuple[int, int], float] = {}
         self._subscriber_node: Dict[int, int] = {}
+        #: (u, v) -> (edge list, latency ms) memo for :meth:`account_path`
+        self._path_cache: Dict[Tuple[int, int], Tuple[list, float]] = {}
 
     # ------------------------------------------------------------------
     # control plane
@@ -68,31 +73,51 @@ class PubSubNetwork:
                 self._broker(nbr).table.add_advertisement(adv, node)
                 queue.append((nbr, node))
 
-    def subscribe(self, node: int, sub: Subscription, size: float = 1.0) -> None:
+    def subscribe(
+        self, node: int, sub: Subscription, size: float = 1.0,
+        force: bool = False,
+    ) -> None:
         """Install ``sub`` for a subscriber attached at ``node``.
 
         Propagation follows advertisement pointers toward intersecting
         sources and stops early when coverage makes forwarding redundant.
+
+        ``force=True`` re-propagates all the way to the advertisers even
+        through brokers that already know the subscription.  The early
+        stops assume the Siena invariant "a recorded subscription has
+        been forwarded upstream", which :meth:`unsubscribe` (a tree-wide
+        delete, not a protocol walk) breaks: tearing down a subscription
+        that covered an identical one from another subscriber leaves the
+        survivor's path with a hole *beyond* the brokers that still have
+        its entries.  Long-running systems (the discrete-event simulator's
+        migration rounds) repair such holes by re-subscribing with
+        ``force=True``; the call is idempotent.
         """
         broker = self._broker(node)
         self._subscriber_node[sub.sub_id] = node
         broker.table.add_subscription(sub, LOCAL)
-        self._propagate(node, sub, from_iface=LOCAL, size=size)
+        self._propagate(node, sub, from_iface=LOCAL, size=size, force=force)
 
-    def _propagate(self, node: int, sub: Subscription, from_iface, size: float) -> None:
+    def _propagate(
+        self, node: int, sub: Subscription, from_iface, size: float,
+        force: bool = False,
+    ) -> None:
         broker = self._broker(node)
         targets = broker.table.advertiser_interfaces(sub)
         for iface in targets:
             if iface == from_iface:
                 continue
-            if broker.table.covered_upstream(sub, toward=iface):
+            if not force and broker.table.covered_upstream(sub, toward=iface):
                 continue
             nbr = iface
             assert isinstance(nbr, int)
+            # every attempted forward is a real message (the sender cannot
+            # know the remote table already holds the subscription), so it
+            # is charged whether or not the table changes
             self._account(self.control_bytes, node, nbr, size)
             changed = self._broker(nbr).table.add_subscription(sub, node)
-            if changed:
-                self._propagate(nbr, sub, from_iface=node, size=size)
+            if changed or force:
+                self._propagate(nbr, sub, from_iface=node, size=size, force=force)
 
     def unsubscribe(self, sub_id: int) -> None:
         """Remove a subscription everywhere (tree-wide)."""
@@ -140,6 +165,32 @@ class PubSubNetwork:
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
+    def account_path(self, u: int, v: int, size: float) -> float:
+        """Account ``size`` data bytes along the overlay path ``u`` -> ``v``.
+
+        For transfers that do not flow through :meth:`publish` -- result
+        streams travelling host -> proxy and migration state handoffs in
+        the discrete-event simulator.  Returns the path latency (ms) so the
+        caller can derive the transfer delay from the same walk.  Paths
+        are memoised (the tree is immutable), so repeated transfers over
+        one pair -- every result tuple of a query -- skip the tree walk.
+        """
+        if u == v:
+            return 0.0
+        key = (u, v)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            path = self.tree.path(u, v)
+            cached = (
+                list(zip(path, path[1:])),
+                sum(self.tree.links[a][b] for a, b in zip(path, path[1:])),
+            )
+            self._path_cache[key] = cached
+            self._path_cache[(v, u)] = ([(b, a) for a, b in cached[0]], cached[1])
+        for a, b in cached[0]:
+            self._account(self.link_bytes, a, b, size)
+        return cached[1]
+
     def reset_traffic(self) -> None:
         self.link_bytes.clear()
         self.control_bytes.clear()

@@ -79,14 +79,18 @@ class SubstreamSpace:
         sources: Sequence[int],
         rate_range=(1.0, 10.0),
         seed: int = 0,
+        rng: "np.random.Generator" = None,
     ) -> "SubstreamSpace":
         """Random space matching the paper's simulation setup.
 
         Substreams are distributed to sources uniformly at random and each
         substream's rate is uniform in ``rate_range`` (the paper uses 1-10
-        bytes/s over 100 sources and 20,000 substreams).
+        bytes/s over 100 sources and 20,000 substreams).  An explicit
+        ``rng`` takes precedence over ``seed``, letting callers thread one
+        :class:`numpy.random.Generator` through a whole simulation run.
         """
-        rng = np.random.default_rng(seed)
+        if rng is None:
+            rng = np.random.default_rng(seed)
         rates = rng.uniform(rate_range[0], rate_range[1], size=num_substreams)
         source_of = rng.choice(np.asarray(sources, dtype=np.int64), size=num_substreams)
         return cls(rates=rates, source_of=source_of)
@@ -113,12 +117,18 @@ class SubstreamSpace:
         bits = np.unpackbits(raw, bitorder="little")[: len(self)]
         return np.nonzero(bits)[0]
 
-    def rate(self, mask: int) -> float:
-        """Total rate of the substreams selected by ``mask``."""
+    def rate(self, mask: int, rates=None) -> float:
+        """Total rate of the substreams selected by ``mask``.
+
+        ``rates`` optionally substitutes a measured per-substream rate
+        vector (same length as the space) for the nominal one -- how the
+        simulator's sampled arrival counts feed load estimation.
+        """
         idx = self._indices(mask)
         if idx.size == 0:
             return 0.0
-        return float(self.rates[idx].sum())
+        vec = self.rates if rates is None else np.asarray(rates, dtype=float)
+        return float(vec[idx].sum())
 
     def overlap_rate(self, mask_a: int, mask_b: int) -> float:
         """Rate of the data of interest to *both* masks (q-q edge weight)."""

@@ -108,15 +108,18 @@ class Workload:
         self.queries.extend(fresh)
         return fresh
 
-    def refresh_loads(self) -> None:
+    def refresh_loads(self, rates=None) -> None:
         """Recompute query loads after substream rates changed.
 
         The paper sets query workload proportional to input stream rate, so
         a rate perturbation (Figure 10) shifts processor loads; this method
-        models the statistics-collection layer noticing that.
+        models the statistics-collection layer noticing that.  When
+        ``rates`` is given (a per-substream rate vector, e.g. measured by
+        :func:`repro.sim.workload.measure_rates`), loads derive from those
+        measurements instead of the nominal expected rates.
         """
         for q in self.queries:
-            q.load = self.params.load_factor * q.input_rate(self.space)
+            q.load = self.params.load_factor * self.space.rate(q.mask, rates)
 
     def _alloc_id(self) -> int:
         self._next_id += 1
@@ -167,13 +170,30 @@ def generate_workload(
     sources: Sequence[int],
     processors: Sequence[int],
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> Workload:
-    """Generate a full workload (substream space + query population)."""
-    rng = random.Random(seed)
-    np_rng = np.random.default_rng(seed)
-    space = SubstreamSpace.random(
-        params.num_substreams, sources, rate_range=params.rate_range, seed=seed
-    )
+    """Generate a full workload (substream space + query population).
+
+    An explicit ``rng`` (:class:`numpy.random.Generator`) takes precedence
+    over ``seed`` and drives *all* randomness -- the substream space, the
+    group permutations and the per-query draws -- so one generator seeds a
+    whole simulation end to end.
+    """
+    if rng is None:
+        py_rng = random.Random(seed)
+        np_rng = np.random.default_rng(seed)
+        space = SubstreamSpace.random(
+            params.num_substreams, sources, rate_range=params.rate_range,
+            seed=seed,
+        )
+    else:
+        np_rng = rng
+        py_rng = random.Random(int(np_rng.integers(0, 2 ** 63)))
+        space = SubstreamSpace.random(
+            params.num_substreams, sources, rate_range=params.rate_range,
+            rng=np_rng,
+        )
+    rng = py_rng
     group_perms = [
         np_rng.permutation(params.num_substreams) for _ in range(params.groups)
     ]

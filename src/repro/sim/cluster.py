@@ -1,0 +1,715 @@
+"""The discrete-event cluster simulator: COSMOS end to end.
+
+Runs the whole middleware over simulated time: one
+:class:`~repro.engine.executor.Engine` per processor, source tuples
+generated per substream at the space's (possibly shifting) rates,
+dissemination over the real content-based pub/sub overlay
+(:class:`~repro.pubsub.network.PubSubNetwork` on a minimum-latency
+spanning tree) with shortest-path transit delays, and the coordinator
+hierarchy adapting placements from loads *measured* on the running
+engines (Section 3.7/3.8 closed-loop, not the static estimates the
+figure experiments use).
+
+Correctness model
+-----------------
+A tuple emitted at time ``t`` reaches a query hosted at processor ``h``
+after the overlay path latency; the engine processes each query's
+inputs in timestamp order behind a per-query reordering slack equal to
+the query's worst input-path delay (the standard out-of-order handling
+of stream engines).  Because every query therefore consumes its inputs
+in emission order, the distributed execution is *result-equivalent* to
+a single giant engine hosting every query -- the oracle
+(:func:`oracle_results`) the churn tests compare against.  Migrations
+move the compiled plan object (window state included) between engines,
+so adaptation rounds never lose or duplicate results; they only add the
+state-handoff delay to the moved query's deliveries.
+
+Determinism: all randomness flows from one ``numpy`` seed through
+:class:`numpy.random.SeedSequence` spawns, and all timing through the
+heap-based :class:`~repro.sim.events.EventLoop`, so two runs of the same
+scenario produce bit-identical traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.cosmos import Cosmos, CosmosConfig
+from ..engine.executor import Engine
+from ..engine.plans import QueryPlan
+from ..engine.tuples import StreamTuple
+from ..pubsub.messages import Event
+from ..pubsub.network import PubSubNetwork
+from ..pubsub.subscriptions import Subscription
+from ..topology.latency import LatencyOracle, select_roles
+from ..topology.overlay import minimum_latency_spanning_tree
+from ..topology.transit_stub import TransitStubParams, generate_transit_stub
+from ..query.interest import SubstreamSpace
+from .events import EventLoop
+from .trace import AdaptationMark, SimTrace, TraceSample
+from .workload import (
+    VALUE_DOMAIN,
+    SimQuery,
+    SimQueryFactory,
+    SimWorkloadParams,
+    stream_name,
+)
+
+__all__ = [
+    "ChurnParams",
+    "HotSpotShift",
+    "ScenarioParams",
+    "SimCluster",
+    "SimReport",
+    "run_scenario",
+    "oracle_results",
+]
+
+
+@dataclass(frozen=True)
+class ChurnParams:
+    """Query arrival/departure process (both exponential)."""
+
+    arrival_rate: float = 0.5  # queries per second
+    mean_lifetime: float = 20.0  # seconds
+
+
+@dataclass(frozen=True)
+class HotSpotShift:
+    """A runtime rate perturbation: ``substreams`` random substreams get
+    their rates multiplied by ``factor`` at time ``at`` (Figure 10's I/D
+    steps, driven from inside the simulation)."""
+
+    at: float = 15.0
+    substreams: int = 10
+    factor: float = 3.0
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Run-level knobs of a simulation scenario."""
+
+    duration: float = 30.0
+    sample_interval: float = 5.0
+    #: period of Section 3.7 adaptation rounds (None disables adaptation)
+    adapt_interval: Optional[float] = 10.0
+    #: "cosmos" = Algorithm 1+2 initial distribution; "skewed" = pile the
+    #: initial queries on a few processors (the Figure 7 adopt scenario)
+    initial_placement: str = "cosmos"
+    churn: Optional[ChurnParams] = None
+    hotspot: Optional[HotSpotShift] = None
+    #: per-state-tuple serialisation cost added to a migration's handoff
+    handoff_ms_per_tuple: float = 0.05
+
+
+@dataclass
+class _QueryState:
+    """Runtime state of one query inside the cluster."""
+
+    simq: SimQuery
+    host: int
+    sub: Subscription
+    plan: QueryPlan
+    #: reordering slack: worst input-path delay (seconds)
+    slack: float
+    #: release time assigned to the latest delivered tuple (monotone)
+    last_release: float = 0.0
+    #: earliest time deliveries may resume after a migration handoff
+    ready: float = 0.0
+    pending: Deque[StreamTuple] = field(default_factory=deque)
+    alive: bool = True
+    detached: bool = False
+    cpu_at_sample: int = 0
+    cpu_at_adapt: int = 0
+    results: List[StreamTuple] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.simq.name
+
+
+@dataclass
+class SimReport:
+    """Everything a scenario run produced."""
+
+    trace: SimTrace
+    queries: Dict[int, SimQuery]
+    placement: Dict[int, int]
+    tuples_emitted: int
+    events_processed: int
+    #: per-query result tuple values, only when ``record=True``
+    results: Optional[Dict[int, List[Dict]]] = None
+    #: ordered action log (tuple / add / remove), only when ``record=True``
+    actions: Optional[List[Tuple[str, object]]] = None
+
+
+class SimCluster:
+    """Engines + pub/sub + coordinator tree under one event loop."""
+
+    def __init__(
+        self,
+        *,
+        oracle: LatencyOracle,
+        sources: List[int],
+        processors: List[int],
+        space: SubstreamSpace,
+        cosmos: Cosmos,
+        params: ScenarioParams,
+        factory: SimQueryFactory,
+        arrival_rng: np.random.Generator,
+        value_rng: np.random.Generator,
+        churn_rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+        record: bool = False,
+    ):
+        self.oracle = oracle
+        self.sources = list(sources)
+        self.processors = list(processors)
+        self.space = space
+        self.cosmos = cosmos
+        self.params = params
+        self.factory = factory
+        self.arrival_rng = arrival_rng
+        self.value_rng = value_rng
+        self.churn_rng = churn_rng
+        self.record = record
+
+        self.loop = EventLoop()
+        self.trace = SimTrace(seed=seed)
+        overlay = minimum_latency_spanning_tree(
+            self.sources + self.processors, oracle
+        )
+        self.network = PubSubNetwork(overlay, record_deliveries=False)
+        from ..pubsub.subscriptions import Advertisement
+
+        for sid in range(len(space)):
+            self.network.advertise(
+                int(space.source_of[sid]), Advertisement(stream=stream_name(sid))
+            )
+        self.engines: Dict[int, Engine] = {
+            p: Engine(node=p) for p in self.processors
+        }
+        self.queries: Dict[int, _QueryState] = {}
+        self._by_sub: Dict[int, int] = {}
+        self._pindex = {p: i for i, p in enumerate(self.processors)}
+        self._path_ms: Dict[Tuple[int, int], float] = {}
+        self._emit_gen: List[int] = [0] * len(space)
+
+        self.duration = params.duration
+        self.tuples_emitted = 0
+        self.results_total = 0
+        self.migrations = 0
+        self._interval_results = 0
+        self._interval_lat_sum = 0.0
+        self._interval_lat_max = 0.0
+        self._last_sample_t = 0.0
+        self.actions: Optional[List[Tuple[str, object]]] = [] if record else None
+
+    # ------------------------------------------------------------------
+    # latency helpers
+    # ------------------------------------------------------------------
+    def _path_latency_ms(self, u: int, v: int) -> float:
+        """Overlay path latency (ms) between two overlay nodes, cached."""
+        if u == v:
+            return 0.0
+        key = (u, v) if u < v else (v, u)
+        lat = self._path_ms.get(key)
+        if lat is None:
+            lat = self.network.tree.path_latency(u, v)
+            self._path_ms[key] = lat
+        return lat
+
+    def _slack(self, simq: SimQuery, host: int) -> float:
+        """Reordering slack (s): the query's worst input transit delay."""
+        return max(
+            self._path_latency_ms(int(self.space.source_of[sid]), host)
+            for sid in simq.substreams
+        ) / 1000.0
+
+    # ------------------------------------------------------------------
+    # query lifecycle
+    # ------------------------------------------------------------------
+    def add_query(self, simq: SimQuery, host: int) -> _QueryState:
+        """Install a query on its host engine and subscribe its inputs."""
+        engine = self.engines[host]
+        plan = engine.add_query(simq.ast, result_stream=f"out_{simq.name}")
+        sub = Subscription.to_streams(simq.streams)
+        self.network.subscribe(host, sub)
+        qs = _QueryState(
+            simq=simq,
+            host=host,
+            sub=sub,
+            plan=plan,
+            slack=self._slack(simq, host),
+            last_release=self.loop.now,
+        )
+        self.queries[simq.query_id] = qs
+        self._by_sub[sub.sub_id] = simq.query_id
+        if self.actions is not None:
+            self.actions.append(("add", simq))
+        return qs
+
+    def remove_query(self, query_id: int) -> None:
+        """Query departure: stop deliveries now, detach after the drain.
+
+        The subscription is torn down immediately (no new tuples), but
+        the plan stays on its engine until every already-delivered tuple
+        has been processed, so the distributed run emits exactly the
+        results a single-engine oracle does for the same action order.
+        """
+        qs = self.queries[query_id]
+        if not qs.alive:
+            return
+        qs.alive = False
+        if self.actions is not None:
+            self.actions.append(("remove", qs.simq))
+        self.network.unsubscribe(qs.sub.sub_id)
+        self._by_sub.pop(qs.sub.sub_id, None)
+        self._refresh_subscriptions(streams=set(qs.simq.streams))
+        self.loop.schedule(
+            max(self.loop.now, qs.last_release), partial(self._detach, query_id)
+        )
+
+    def _detach(self, query_id: int) -> None:
+        qs = self.queries[query_id]
+        if qs.detached:
+            return
+        # deliver anything still in flight first: a migration can push
+        # last_release past already-scheduled release events, making them
+        # fire (rescheduled) at the same instant as this detach but after
+        # it in the queue -- dropping them would diverge from the oracle,
+        # which processes every tuple emitted before the departure
+        while qs.pending:
+            self._deliver_now(qs, qs.pending.popleft())
+        qs.detached = True
+        self.engines[qs.host].remove_query(qs.name)
+
+    def _refresh_subscriptions(self, streams: Optional[set] = None) -> None:
+        """Re-propagate live subscriptions (optionally: only those sharing
+        a stream with ``streams``).
+
+        Covering-based tables prune a subscription whose propagation an
+        identical earlier one made redundant; when that earlier one is
+        torn down (migration, departure) the pruned path must be
+        re-announced.  Re-subscribing is idempotent, so this simply fills
+        the gaps the removal opened.
+        """
+        for qs in self.queries.values():
+            if not qs.alive:
+                continue
+            if streams is not None and not (streams & set(qs.simq.streams)):
+                continue
+            self.network.subscribe(qs.host, qs.sub, force=True)
+
+    def _migrate(self, query_id: int, new_host: int) -> float:
+        """Move a query's plan (state included) to ``new_host``.
+
+        Charges the overlay for the state transfer and pauses the query's
+        deliveries for the handoff delay; returns the state size moved.
+        """
+        qs = self.queries[query_id]
+        old = qs.host
+        plan = self.engines[old].remove_query(qs.name)
+        self.engines[new_host].adopt_plan(plan)
+        self.network.unsubscribe(qs.sub.sub_id)
+        qs.host = new_host
+        self.network.subscribe(new_host, qs.sub)
+        qs.slack = self._slack(qs.simq, new_host)
+        state_tuples = float(plan.state_size())
+        lat_ms = self.network.account_path(old, new_host, max(1.0, state_tuples))
+        handoff_s = (
+            lat_ms + state_tuples * self.params.handoff_ms_per_tuple
+        ) / 1000.0
+        qs.ready = self.loop.now + handoff_s
+        qs.last_release = max(qs.last_release, qs.ready)
+        self.migrations += 1
+        return state_tuples
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def _emit(self, sid: int, gen: int) -> None:
+        """One source tuple of substream ``sid``; reschedules itself.
+
+        ``gen`` is the substream's emission-chain generation: a hot-spot
+        shift bumps it and starts a fresh chain at the new rate, which
+        both revives substreams whose chain had run past the horizon and
+        applies the new rate immediately; the superseded chain sees the
+        stale generation and dies here.
+        """
+        if gen != self._emit_gen[sid]:
+            return
+        t = self.loop.now
+        tup = StreamTuple(
+            stream_name(sid),
+            {
+                "value": int(self.value_rng.integers(0, VALUE_DOMAIN)),
+                "timestamp": t,
+            },
+        )
+        if self.actions is not None:
+            self.actions.append(("tuple", tup))
+        source = int(self.space.source_of[sid])
+        event = Event(stream=tup.stream, attributes=tup.values, size=1.0)
+        for _node, _ev, sub in self.network.publish(source, event):
+            query_id = self._by_sub.get(sub.sub_id)
+            if query_id is None:
+                continue
+            qs = self.queries[query_id]
+            release = max(t + qs.slack, qs.last_release)
+            qs.last_release = release
+            qs.pending.append(tup)
+            self.loop.schedule(release, partial(self._release_one, query_id))
+        self.tuples_emitted += 1
+        rate = float(self.space.rates[sid])
+        if rate > 1e-12:
+            nxt = t + float(self.arrival_rng.exponential(1.0 / rate))
+            if nxt <= self.duration:
+                self.loop.schedule(nxt, partial(self._emit, sid, gen))
+
+    def _release_one(self, query_id: int) -> None:
+        """Deliver the oldest pending tuple of a query to its plan.
+
+        Pending tuples form a FIFO per query, so deliveries happen in
+        emission order even when a migration's handoff pause reschedules
+        release events.
+        """
+        qs = self.queries[query_id]
+        if qs.detached or not qs.pending:
+            return
+        if self.loop.now < qs.ready:
+            self.loop.schedule(qs.ready, partial(self._release_one, query_id))
+            return
+        self._deliver_now(qs, qs.pending.popleft())
+
+    def _deliver_now(self, qs: _QueryState, tup: StreamTuple) -> None:
+        """Push one tuple into a query's plan and account its results."""
+        results = self.engines[qs.host].push_query(qs.name, tup)
+        if not results:
+            return
+        proxy = qs.simq.spec.proxy
+        proxy_ms = 0.0
+        if qs.host != proxy:
+            proxy_ms = self.network.account_path(qs.host, proxy, float(len(results)))
+        latency = (self.loop.now - tup.timestamp) + proxy_ms / 1000.0
+        for r in results:
+            self._interval_results += 1
+            self._interval_lat_sum += latency
+            if latency > self._interval_lat_max:
+                self._interval_lat_max = latency
+            self.results_total += 1
+            if self.record:
+                qs.results.append(r)
+
+    # ------------------------------------------------------------------
+    # dynamics: churn, hot spots, adaptation, sampling
+    # ------------------------------------------------------------------
+    def _churn_arrival(self, churn: ChurnParams) -> None:
+        simq = self.factory.make()
+        host = self.cosmos.insert(simq.spec)
+        self.add_query(simq, host)
+        self.trace.mark(self.loop.now, "query_add", simq.name)
+        lifetime = float(self.churn_rng.exponential(churn.mean_lifetime))
+        self.loop.schedule(
+            self.loop.now + lifetime,
+            partial(self._churn_departure, simq.query_id),
+        )
+        nxt = self.loop.now + float(
+            self.churn_rng.exponential(1.0 / churn.arrival_rate)
+        )
+        if nxt <= self.duration:
+            self.loop.schedule(nxt, partial(self._churn_arrival, churn))
+
+    def _churn_departure(self, query_id: int) -> None:
+        qs = self.queries.get(query_id)
+        if qs is None or not qs.alive:
+            return
+        self.trace.mark(self.loop.now, "query_remove", qs.name)
+        self.cosmos.remove(query_id)
+        self.remove_query(query_id)
+
+    def _hotspot(self, substream_ids: List[int], factor: float) -> None:
+        self.space.perturb_rates(substream_ids, factor)
+        # restart each affected substream's emission chain at the new rate
+        # (also revives chains whose next arrival had run past the horizon)
+        for sid in substream_ids:
+            self._emit_gen[sid] += 1
+            rate = float(self.space.rates[sid])
+            if rate > 1e-12:
+                nxt = self.loop.now + float(
+                    self.arrival_rng.exponential(1.0 / rate)
+                )
+                if nxt <= self.duration:
+                    self.loop.schedule(
+                        nxt, partial(self._emit, sid, self._emit_gen[sid])
+                    )
+        self.trace.mark(
+            self.loop.now, "hotspot", f"{len(substream_ids)}x{factor:g}"
+        )
+
+    def _measured_loads(self, dt: float, counter: str) -> Dict[int, float]:
+        """Per-query loads from engine CPU counters since the last round."""
+        loads: Dict[int, float] = {}
+        for query_id, qs in self.queries.items():
+            if not qs.alive or qs.detached:
+                continue
+            cpu = qs.plan.cpu_cost()
+            loads[query_id] = (cpu - getattr(qs, counter)) / dt
+            setattr(qs, counter, cpu)
+        return loads
+
+    def _placement_stddev(self, loads: Dict[int, float]) -> float:
+        per_host = np.zeros(len(self.processors))
+        for query_id, load in loads.items():
+            qs = self.queries[query_id]
+            if not qs.alive:
+                continue
+            per_host[self._pindex[qs.host]] += load
+        return float(np.std(per_host))
+
+    def _adapt_round(self) -> None:
+        """One Section 3.7 round driven by *measured* engine loads."""
+        dt = self.params.adapt_interval
+        loads = self._measured_loads(dt, "cpu_at_adapt")
+        if loads:
+            stddev_before = self._placement_stddev(loads)
+            cpu0 = self.cosmos.total_time()
+            self.cosmos.refresh_measured_loads(loads)
+            self.cosmos.adapt()
+            moved = 0
+            moved_state = 0.0
+            moved_streams: set = set()
+            for query_id in loads:
+                qs = self.queries[query_id]
+                new_host = self.cosmos.placement.get(query_id)
+                if new_host is not None and new_host != qs.host:
+                    moved_state += self._migrate(query_id, new_host)
+                    moved += 1
+                    moved_streams.update(qs.simq.streams)
+            if moved:
+                # only subscriptions overlapping a moved query's streams
+                # can have been left with coverage holes
+                self._refresh_subscriptions(streams=moved_streams)
+            self.trace.adaptations.append(
+                AdaptationMark(
+                    t=self.loop.now,
+                    stddev_before=stddev_before,
+                    stddev_after=self._placement_stddev(loads),
+                    migrated_queries=moved,
+                    moved_state=moved_state,
+                    optimizer_cpu_s=self.cosmos.total_time() - cpu0,
+                )
+            )
+        nxt = self.loop.now + dt
+        if nxt <= self.duration:
+            self.loop.schedule(nxt, self._adapt_round)
+
+    def _sample(self, closing: bool = False) -> None:
+        # actual elapsed interval: equals sample_interval for periodic
+        # samples, but the closing sample covers only the drain tail
+        dt = max(self.loop.now - self._last_sample_t, 1e-9)
+        self._last_sample_t = self.loop.now
+        loads = self._measured_loads(dt, "cpu_at_sample")
+        n = self._interval_results
+        self.trace.samples.append(
+            TraceSample(
+                t=self.loop.now if not closing else max(self.loop.now, self.duration),
+                throughput=n / dt,
+                mean_latency=self._interval_lat_sum / n if n else 0.0,
+                max_latency=self._interval_lat_max,
+                load_stddev=self._placement_stddev(loads),
+                alive_queries=sum(1 for q in self.queries.values() if q.alive),
+                migrations_total=self.migrations,
+                data_bytes=float(sum(self.network.link_bytes.values())),
+                control_bytes=float(sum(self.network.control_bytes.values())),
+                results_total=self.results_total,
+            )
+        )
+        self._interval_results = 0
+        self._interval_lat_sum = 0.0
+        self._interval_lat_max = 0.0
+        if not closing:
+            nxt = self.loop.now + dt
+            if nxt <= self.duration:
+                self.loop.schedule(nxt, self._sample)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the initial event population."""
+        for sid in range(len(self.space)):
+            rate = float(self.space.rates[sid])
+            if rate > 1e-12:
+                first = float(self.arrival_rng.exponential(1.0 / rate))
+                if first <= self.duration:
+                    self.loop.schedule(first, partial(self._emit, sid, 0))
+        if self.params.sample_interval <= self.duration:
+            self.loop.schedule(self.params.sample_interval, self._sample)
+        if (
+            self.params.adapt_interval is not None
+            and self.params.adapt_interval <= self.duration
+        ):
+            self.loop.schedule(self.params.adapt_interval, self._adapt_round)
+
+    def run(self) -> None:
+        """Run to the horizon, then drain in-flight deliveries."""
+        self.loop.run_until(self.duration)
+        self.loop.run()  # nothing reschedules past the horizon
+        if self._interval_results:
+            self._sample(closing=True)  # catch the drain tail
+
+
+def run_scenario(
+    *,
+    seed: int = 0,
+    topology: Optional[TransitStubParams] = None,
+    num_sources: int = 4,
+    num_processors: int = 8,
+    workload: SimWorkloadParams = SimWorkloadParams(),
+    scenario: ScenarioParams = ScenarioParams(),
+    cosmos_config: Optional[CosmosConfig] = None,
+    record: bool = False,
+) -> SimReport:
+    """Build a cluster and run one scenario end to end.
+
+    Everything -- topology, role selection, substream space, query
+    population, tuple arrivals, churn -- derives from ``seed`` via
+    :class:`numpy.random.SeedSequence` spawns, so equal seeds give
+    bit-identical :class:`SimReport` traces.  With ``record=True`` the
+    report additionally carries the ordered action log and every
+    query's result tuples, which :func:`oracle_results` can replay on a
+    single engine for correctness checks.
+    """
+    spawned = np.random.SeedSequence(seed).spawn(8)
+    rngs = [np.random.default_rng(s) for s in spawned]
+    (topo_rng, roles_rng, space_rng, factory_rng,
+     arrival_rng, value_rng, churn_rng, hotspot_rng) = rngs
+
+    topo = generate_transit_stub(
+        topology
+        or TransitStubParams(
+            transit_domains=2, transit_nodes=3,
+            stubs_per_transit_node=2, stub_nodes=4,
+        ),
+        rng=topo_rng,
+    )
+    oracle = LatencyOracle(topo)
+    sources, processors = select_roles(
+        topo, num_sources, num_processors, rng=roles_rng
+    )
+    space = SubstreamSpace.random(
+        workload.num_substreams,
+        sources,
+        rate_range=workload.rate_range,
+        rng=space_rng,
+    )
+    factory = SimQueryFactory(space, processors, workload, factory_rng)
+    initial = factory.make_batch(workload.num_queries)
+    specs = [q.spec for q in initial]
+
+    cosmos = Cosmos(
+        oracle,
+        processors,
+        space,
+        cosmos_config or CosmosConfig(k=4, vmax=60, seed=seed),
+    )
+    if scenario.initial_placement == "skewed":
+        hosts = processors[: max(1, len(processors) // 8)]
+        cosmos.adopt(
+            specs,
+            {q.query_id: hosts[i % len(hosts)] for i, q in enumerate(specs)},
+        )
+    elif scenario.initial_placement == "cosmos":
+        cosmos.distribute(specs)
+    else:
+        raise ValueError(
+            f"unknown initial placement {scenario.initial_placement!r}"
+        )
+
+    cluster = SimCluster(
+        oracle=oracle,
+        sources=sources,
+        processors=processors,
+        space=space,
+        cosmos=cosmos,
+        params=scenario,
+        factory=factory,
+        arrival_rng=arrival_rng,
+        value_rng=value_rng,
+        churn_rng=churn_rng,
+        seed=seed,
+        record=record,
+    )
+    for simq in initial:
+        cluster.add_query(simq, cosmos.placement[simq.query_id])
+    if scenario.churn is not None:
+        first = float(churn_rng.exponential(1.0 / scenario.churn.arrival_rate))
+        if first <= scenario.duration:
+            cluster.loop.schedule(
+                first, partial(cluster._churn_arrival, scenario.churn)
+            )
+    if scenario.hotspot is not None and scenario.hotspot.at <= scenario.duration:
+        count = min(scenario.hotspot.substreams, len(space))
+        chosen = [
+            int(s)
+            for s in hotspot_rng.choice(len(space), size=count, replace=False)
+        ]
+        cluster.loop.schedule(
+            scenario.hotspot.at,
+            partial(cluster._hotspot, chosen, scenario.hotspot.factor),
+        )
+    cluster.start()
+    cluster.run()
+
+    results = None
+    if record:
+        results = {
+            query_id: [dict(t.values) for t in qs.results]
+            for query_id, qs in cluster.queries.items()
+        }
+    return SimReport(
+        trace=cluster.trace,
+        queries={qid: qs.simq for qid, qs in cluster.queries.items()},
+        placement=dict(cosmos.placement),
+        tuples_emitted=cluster.tuples_emitted,
+        events_processed=cluster.loop.processed,
+        results=results,
+        actions=cluster.actions,
+    )
+
+
+def oracle_results(
+    actions: List[Tuple[str, object]]
+) -> Dict[int, List[Dict]]:
+    """Replay a recorded action log on ONE engine hosting every query.
+
+    The ground truth for distributed execution: since the cluster
+    delivers each query's inputs in emission order (see the module
+    docstring), pushing the same tuples in the same global order through
+    a single engine must produce exactly the same result tuples per
+    query, churn included.
+    """
+    engine = Engine()
+    out: Dict[int, List[Dict]] = {}
+
+    def _sink(bucket: List[Dict], t: StreamTuple) -> None:
+        bucket.append(dict(t.values))
+
+    for kind, payload in actions:
+        if kind == "tuple":
+            engine.push(payload)
+        elif kind == "add":
+            simq: SimQuery = payload
+            engine.add_query(simq.ast, result_stream=f"out_{simq.name}")
+            bucket: List[Dict] = []
+            out[simq.query_id] = bucket
+            engine.on_result(simq.name, partial(_sink, bucket))
+        elif kind == "remove":
+            engine.remove_query(payload.name)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown action kind {kind!r}")
+    return out

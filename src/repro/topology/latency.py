@@ -99,6 +99,7 @@ def select_roles(
     num_sources: int,
     num_processors: int,
     seed: int = 0,
+    rng=None,
 ):
     """Pick source and processor nodes from the stub nodes of a topology.
 
@@ -108,11 +109,13 @@ def select_roles(
     processors are disjoint and drawn from stub (edge) nodes, which is
     where end systems live in a transit-stub network.
 
-    Returns ``(sources, processors)`` as sorted lists of node ids.
+    An explicit ``rng`` (``random.Random`` or ``numpy.random.Generator``)
+    takes precedence over ``seed``, for end-to-end seeding of simulator
+    runs.  Returns ``(sources, processors)`` as sorted lists of node ids.
     """
-    import random as _random
+    from .transit_stub import _as_python_random
 
-    rng = _random.Random(seed)
+    rng = _as_python_random(seed, rng)
     pool = list(topo.stub_nodes) if topo.stub_nodes else list(range(topo.n))
     need = num_sources + num_processors
     if need > len(pool):

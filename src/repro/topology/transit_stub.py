@@ -153,8 +153,24 @@ def _uniform(rng: random.Random, bounds: Tuple[float, float]) -> float:
     return rng.uniform(lo, hi)
 
 
+def _as_python_random(seed: int, rng) -> random.Random:
+    """Normalise ``(seed, rng)`` to one :class:`random.Random`.
+
+    ``rng`` may be a :class:`random.Random` (used directly) or a
+    :class:`numpy.random.Generator` (a stream is derived from one draw),
+    so a single seeded generator can reproducibly drive topology,
+    workload and tuple arrivals end to end.  ``None`` keeps the legacy
+    ``seed`` behaviour bit-for-bit.
+    """
+    if rng is None:
+        return random.Random(seed)
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(int(rng.integers(0, 2 ** 63)))
+
+
 def generate_transit_stub(
-    params: TransitStubParams = TransitStubParams(), seed: int = 0
+    params: TransitStubParams = TransitStubParams(), seed: int = 0, rng=None
 ) -> Topology:
     """Generate a connected transit-stub topology.
 
@@ -166,8 +182,11 @@ def generate_transit_stub(
       domain pair);
     * each stub domain is a chain plus random chords, and its first router
       links to its parent transit router.
+
+    An explicit ``rng`` (``random.Random`` or ``numpy.random.Generator``)
+    takes precedence over ``seed``; see :func:`_as_python_random`.
     """
-    rng = random.Random(seed)
+    rng = _as_python_random(seed, rng)
     n = params.node_count()
     topo = Topology(n=n, adjacency=[[] for _ in range(n)])
 

@@ -136,6 +136,61 @@ class TestEngineManagement:
         e.push(tup("R", 1, a=5))
         assert e.results["q"] == []
 
+    def test_remove_query_releases_all_state(self):
+        """Regression: churned queries must not leak sinks/results/readers."""
+        e = Engine()
+        e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q"))
+        e.on_result("q", lambda t: None)
+        e.push(tup("R", 1, a=5))
+        assert e.results["q"]  # buffered before removal
+        e.remove_query("q")
+        assert "q" not in e.results
+        assert "q" not in e._sinks
+        assert all(
+            n != "q" for readers in e._readers.values() for n, _ in readers
+        )
+
+    def test_remove_query_returns_plan_with_state(self):
+        e = Engine()
+        e.add_query(parse_query(
+            "SELECT * FROM R [Range 100 Seconds] R, S [Now] S WHERE R.a = S.a",
+            name="q"))
+        e.push(tup("R", 1, a=1))
+        plan = e.remove_query("q")
+        assert plan.state_size() == 1  # join window survives the detach
+
+    def test_adopt_plan_preserves_window_state(self):
+        """A migrated join keeps matching against pre-migration tuples."""
+        src = Engine()
+        src.add_query(parse_query(
+            "SELECT * FROM R [Range 100 Seconds] R, S [Now] S WHERE R.a = S.a",
+            name="q"))
+        src.push(tup("R", 1, a=1))
+        plan = src.remove_query("q")
+        dst = Engine()
+        dst.adopt_plan(plan)
+        out = dst.push(tup("S", 2, a=1))
+        assert len(out) == 1  # joined against state carried over
+
+    def test_adopt_plan_rejects_duplicates(self):
+        e = Engine()
+        plan = e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q"))
+        e.remove_query("q")
+        e.adopt_plan(plan)
+        with pytest.raises(ValueError):
+            e.adopt_plan(plan)
+
+    def test_push_query_routes_to_single_plan(self):
+        e = Engine()
+        e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q1"))
+        e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q2"))
+        out = e.push_query("q1", tup("R", 1, a=5))
+        assert len(out) == 1
+        assert e.plans["q1"].results_emitted == 1
+        assert e.plans["q2"].results_emitted == 0
+        # unknown names are a no-op (query may have churned away)
+        assert e.push_query("gone", tup("R", 2, a=5)) == []
+
     def test_remove_unknown_raises(self):
         with pytest.raises(KeyError):
             Engine().remove_query("nope")

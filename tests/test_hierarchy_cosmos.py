@@ -205,3 +205,64 @@ class TestCosmosInsertAdapt:
                         CosmosConfig(k=4, vmax=40))
         placement = cosmos.distribute(workload.queries[:20])
         assert set(placement.values()) == {processors[0]}
+
+
+class TestCosmosRemoval:
+    """Query departure (the churn counterpart of online insertion)."""
+
+    def _fresh(self, env, vmax=40, n=None):
+        _, oracle, _, processors, workload = env
+        cosmos = Cosmos(oracle, processors, workload.space,
+                        CosmosConfig(k=4, vmax=vmax))
+        queries = workload.queries if n is None else workload.queries[:n]
+        cosmos.distribute(queries)
+        return cosmos, queries
+
+    def test_remove_clears_placement_and_vertices(self, env):
+        cosmos, queries = self._fresh(env)
+        victim = queries[7].query_id
+        assert cosmos.remove(victim)
+        assert victim not in cosmos.placement
+        for coord in cosmos.root.all_coordinators():
+            for v in coord.vertices.values():
+                assert victim not in v.members
+
+    def test_remove_inside_coarse_vertex(self, env):
+        # vmax far below the population forces coarse vertices at the root
+        cosmos, queries = self._fresh(env, vmax=10)
+        assert any(
+            len(v.members) > 1 for v in cosmos.root.vertices.values()
+        ), "expected coarse vertices at the root"
+        victim = queries[3].query_id
+        assert cosmos.remove(victim)
+        for coord in cosmos.root.all_coordinators():
+            for v in coord.vertices.values():
+                assert victim not in v.members
+                assert v.weight == pytest.approx(
+                    sum(c.weight for c in v.children) if v.children else v.weight
+                )
+
+    def test_adapt_after_removal_keeps_query_gone(self, env):
+        cosmos, queries = self._fresh(env, vmax=10)
+        victims = [q.query_id for q in queries[:5]]
+        for victim in victims:
+            cosmos.remove(victim)
+        cosmos.adapt()
+        for victim in victims:
+            assert victim not in cosmos.placement
+        survivors = {q.query_id for q in queries} - set(victims)
+        assert set(cosmos.placement) == survivors
+
+    def test_insert_after_removal(self, env):
+        _, oracle, _, processors, workload = env
+        cosmos, queries = self._fresh(env)
+        victim = queries[0].query_id
+        cosmos.remove(victim)
+        fresh = workload.new_queries(3, processors)
+        for q in fresh:
+            host = cosmos.insert(q)
+            assert cosmos.placement[q.query_id] == host
+
+    def test_remove_unknown_returns_false(self, env):
+        cosmos, _ = self._fresh(env, n=20)
+        assert not cosmos.remove(999999)

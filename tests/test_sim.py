@@ -1,0 +1,273 @@
+"""Tests for the discrete-event cluster simulator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.query.interest import SubstreamSpace
+from repro.query.workload import WorkloadParams, generate_workload
+from repro.sim import (
+    ChurnParams,
+    EventLoop,
+    HotSpotShift,
+    ScenarioParams,
+    SimWorkloadParams,
+    measure_rates,
+    oracle_results,
+    run_scenario,
+)
+from repro.sim.workload import SimQueryFactory, stream_name
+from repro.topology.latency import select_roles
+from repro.topology.transit_stub import TransitStubParams, generate_transit_stub
+
+
+class TestEventLoop:
+    def test_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(3.0, lambda: seen.append("c"))
+        loop.schedule(1.0, lambda: seen.append("a"))
+        loop.schedule(2.0, lambda: seen.append("b"))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        seen = []
+        for tag in "abc":
+            loop.schedule(5.0, lambda t=tag: seen.append(t))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_past_scheduling_clamped_to_now(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.0, lambda: loop.schedule(1.0, lambda: seen.append("late")))
+        loop.run()
+        assert seen == ["late"]
+        assert loop.now == 2.0
+
+    def test_run_until_horizon(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(9.0, lambda: seen.append(9))
+        assert loop.run_until(5.0) == 1
+        assert seen == [1] and loop.now == 5.0
+        assert len(loop) == 1
+
+    def test_actions_can_reschedule(self):
+        loop = EventLoop()
+        ticks = []
+
+        def tick():
+            ticks.append(loop.now)
+            if loop.now < 3.0:
+                loop.schedule_in(1.0, tick)
+
+        loop.schedule(1.0, tick)
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+
+class TestSeedThreading:
+    """Satellite: one numpy Generator reproduces every layer."""
+
+    def test_transit_stub_rng_param(self):
+        p = TransitStubParams()
+        a = generate_transit_stub(p, rng=np.random.default_rng(3))
+        b = generate_transit_stub(p, rng=np.random.default_rng(3))
+        c = generate_transit_stub(p, rng=np.random.default_rng(4))
+        assert a.adjacency == b.adjacency
+        assert a.adjacency != c.adjacency
+        # legacy int-seed path is untouched
+        assert (
+            generate_transit_stub(p, seed=5).adjacency
+            == generate_transit_stub(p, seed=5).adjacency
+        )
+
+    def test_select_roles_rng_param(self):
+        topo = generate_transit_stub(TransitStubParams(), seed=1)
+        a = select_roles(topo, 4, 8, rng=np.random.default_rng(2))
+        b = select_roles(topo, 4, 8, rng=np.random.default_rng(2))
+        assert a == b
+
+    def test_substream_space_rng_param(self):
+        a = SubstreamSpace.random(50, [1, 2], rng=np.random.default_rng(9))
+        b = SubstreamSpace.random(50, [1, 2], rng=np.random.default_rng(9))
+        assert np.array_equal(a.rates, b.rates)
+        assert np.array_equal(a.source_of, b.source_of)
+
+    def test_generate_workload_rng_param(self):
+        params = WorkloadParams(num_substreams=100, num_queries=20)
+        a = generate_workload(params, [0, 1], [5, 6, 7], rng=np.random.default_rng(4))
+        b = generate_workload(params, [0, 1], [5, 6, 7], rng=np.random.default_rng(4))
+        assert [q.mask for q in a.queries] == [q.mask for q in b.queries]
+        assert [q.proxy for q in a.queries] == [q.proxy for q in b.queries]
+
+    def test_sim_factory_reproducible(self):
+        space = SubstreamSpace.random(30, [0], rng=np.random.default_rng(1))
+        make = lambda seed: SimQueryFactory(
+            space, [10, 11], SimWorkloadParams(num_substreams=30),
+            np.random.default_rng(seed),
+        ).make_batch(10)
+        a, b = make(7), make(7)
+        assert [q.text for q in a] == [q.text for q in b]
+        assert [q.spec.mask for q in a] == [q.spec.mask for q in b]
+
+
+class TestMeasureRates:
+    def test_converges_to_nominal(self):
+        space = SubstreamSpace.random(200, [0], rng=np.random.default_rng(0))
+        measured = measure_rates(space, 10000.0, np.random.default_rng(1))
+        assert np.allclose(measured, space.rates, rtol=0.2)
+
+    def test_noisy_at_short_durations(self):
+        space = SubstreamSpace.random(200, [0], rng=np.random.default_rng(0))
+        measured = measure_rates(space, 0.5, np.random.default_rng(1))
+        assert not np.allclose(measured, space.rates, rtol=1e-3)
+
+    def test_rejects_bad_duration(self):
+        space = SubstreamSpace.random(5, [0], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            measure_rates(space, 0.0, np.random.default_rng(1))
+
+
+def churn_scenario() -> ScenarioParams:
+    return ScenarioParams(
+        duration=20.0,
+        sample_interval=4.0,
+        adapt_interval=8.0,
+        initial_placement="skewed",
+        churn=ChurnParams(arrival_rate=0.4, mean_lifetime=12.0),
+        hotspot=HotSpotShift(at=10.0, substreams=8, factor=3.0),
+    )
+
+
+def small_workload() -> SimWorkloadParams:
+    return SimWorkloadParams(num_substreams=40, num_queries=24)
+
+
+class TestRunScenario:
+    def test_steady_state_produces_results_and_latencies(self):
+        report = run_scenario(
+            seed=1,
+            workload=small_workload(),
+            scenario=ScenarioParams(duration=15.0, sample_interval=5.0,
+                                    adapt_interval=None),
+        )
+        summary = report.trace.summary()
+        assert summary["results_total"] > 0
+        assert summary["mean_latency_s"] > 0.0
+        # latency can never beat the smallest intra-stub link (1 ms)
+        assert summary["max_latency_s"] >= 0.001
+        assert report.tuples_emitted > 0
+        # no adaptation configured -> no migrations, no marks
+        assert summary["migrations_total"] == 0
+        assert report.trace.adaptations == []
+
+    def test_trace_is_deterministic(self):
+        a = run_scenario(seed=5, workload=small_workload(), scenario=churn_scenario())
+        b = run_scenario(seed=5, workload=small_workload(), scenario=churn_scenario())
+        assert json.dumps(a.trace.to_dict(), sort_keys=True) == json.dumps(
+            b.trace.to_dict(), sort_keys=True
+        )
+
+    def test_seeds_differ(self):
+        a = run_scenario(seed=5, workload=small_workload(), scenario=churn_scenario())
+        b = run_scenario(seed=6, workload=small_workload(), scenario=churn_scenario())
+        assert json.dumps(a.trace.to_dict(), sort_keys=True) != json.dumps(
+            b.trace.to_dict(), sort_keys=True
+        )
+
+    def test_churn_adaptation_improves_balance(self):
+        """Satellite: churn + adaptation; stddev drops after a round."""
+        report = run_scenario(
+            seed=7, workload=small_workload(), scenario=churn_scenario()
+        )
+        assert report.trace.adaptations, "no adaptation rounds fired"
+        first = report.trace.adaptations[0]
+        assert first.stddev_after < first.stddev_before
+        assert first.migrated_queries > 0
+        # churn actually happened
+        kinds = {e[1] for e in report.trace.events}
+        assert "query_add" in kinds and "query_remove" in kinds
+
+    @pytest.mark.parametrize("seed", [0, 7, 11])
+    def test_results_match_single_engine_oracle(self, seed):
+        """Satellite: every emitted result tuple matches the oracle run."""
+        report = run_scenario(
+            seed=seed,
+            workload=small_workload(),
+            scenario=churn_scenario(),
+            record=True,
+        )
+        oracle = oracle_results(report.actions)
+        assert set(report.results) == set(oracle)
+        total = 0
+        for query_id, got in report.results.items():
+            assert got == oracle[query_id], f"query {query_id} diverged"
+            total += len(got)
+        assert total > 0, "scenario emitted no results to compare"
+
+    def test_hotspot_shifts_traffic(self):
+        quiet = run_scenario(
+            seed=3,
+            workload=small_workload(),
+            scenario=ScenarioParams(duration=20.0, sample_interval=5.0,
+                                    adapt_interval=None),
+        )
+        shifted = run_scenario(
+            seed=3,
+            workload=small_workload(),
+            scenario=ScenarioParams(duration=20.0, sample_interval=5.0,
+                                    adapt_interval=None,
+                                    hotspot=HotSpotShift(at=8.0, substreams=12,
+                                                         factor=4.0)),
+        )
+        assert ("hotspot" in {e[1] for e in shifted.trace.events})
+        assert shifted.tuples_emitted > quiet.tuples_emitted
+
+    def test_rejects_unknown_placement_mode(self):
+        with pytest.raises(ValueError):
+            run_scenario(
+                seed=0,
+                workload=small_workload(),
+                scenario=ScenarioParams(initial_placement="nope"),
+            )
+
+
+class TestFig10SimLoads:
+    """Satellite: fig10 sourcing loads from the simulator measurement."""
+
+    def test_sim_load_source_runs(self):
+        from repro.experiments import fig10
+        from repro.experiments.config import bench_scale
+
+        config = bench_scale(num_queries=120)
+        series = fig10.run(
+            config=config, pattern=("I", "D"), perturbed_streams=40,
+            load_source="sim", measure_duration=20.0,
+        )
+        assert len(series.steps) == 3  # snapshot 0 + two perturbations
+        assert series.adaptive_migrations >= 0
+
+    def test_static_and_sim_paths_diverge(self):
+        from repro.experiments import fig10
+        from repro.experiments.config import bench_scale
+
+        config = bench_scale(num_queries=120)
+        static = fig10.run(config=config, pattern=("I",), perturbed_streams=40)
+        sim = fig10.run(
+            config=config, pattern=("I",), perturbed_streams=40,
+            load_source="sim", measure_duration=5.0,
+        )
+        # short, noisy measurements must not match the exact static loads
+        assert static.adaptive_std != sim.adaptive_std
+
+    def test_rejects_unknown_source(self):
+        from repro.experiments import fig10
+
+        with pytest.raises(ValueError):
+            fig10.run(load_source="bogus")
