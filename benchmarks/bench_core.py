@@ -32,3 +32,8 @@ def test_core_kernels(benchmark):
     assert by_name["diffusion"]["parity"]["max_flow_err"] < 1e-9
     assert by_name["coarsening"]["parity"]["identical_partition"]
     assert by_name["attach_costs"]["parity"]["max_abs_err"] < 1e-6
+    # dissemination sweep: indexed and reference paths deliver identically,
+    # and the index must win (the >= 5x acceptance gate applies at full
+    # scale, inside the scenario itself)
+    assert by_name["sim_scale"]["parity"]["identical_deliveries"]
+    assert by_name["sim_scale"]["speedup"] >= 1.5

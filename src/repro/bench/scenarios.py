@@ -41,7 +41,9 @@ __all__ = ["SCALES", "SCENARIOS", "run_scenarios", "scenario", "SyntheticOracle"
 #: scenario sizes; "full" is the acceptance scale of ISSUE 1.  The ``sim``
 #: sub-dict sizes the discrete-event simulator scenarios (ISSUE 2):
 #: ``topology`` is (transit_domains, transit_nodes, stubs_per_transit,
-#: stub_nodes) and rates are tuples/s per substream.
+#: stub_nodes) and rates are tuples/s per substream.  ``scale_sweep``
+#: lists the (processors, subscriptions) points of the ``sim_scale``
+#: dissemination sweep (ISSUE 3: indexed vs reference forwarding).
 SCALES: Dict[str, Dict] = {
     "smoke": dict(
         wec_queries=200, processors=8, substreams=500, sources=10,
@@ -53,6 +55,8 @@ SCALES: Dict[str, Dict] = {
             substreams=40, queries=24, duration=20.0,
             sample_interval=4.0, adapt_interval=8.0,
             churn_arrival=0.4, churn_lifetime=12.0,
+            scale_sweep=[(8, 200), (16, 500)],
+            scale_events=60,
         ),
     ),
     "quick": dict(
@@ -65,6 +69,8 @@ SCALES: Dict[str, Dict] = {
             substreams=80, queries=60, duration=40.0,
             sample_interval=5.0, adapt_interval=10.0,
             churn_arrival=0.6, churn_lifetime=20.0,
+            scale_sweep=[(16, 500), (32, 1000), (64, 2500)],
+            scale_events=80,
         ),
     ),
     "full": dict(
@@ -77,6 +83,10 @@ SCALES: Dict[str, Dict] = {
             substreams=160, queries=120, duration=60.0,
             sample_interval=6.0, adapt_interval=12.0,
             churn_arrival=1.0, churn_lifetime=30.0,
+            scale_sweep=[(64, 2500), (128, 5000), (256, 10000)],
+            scale_events=100,
+            # ISSUE 3 acceptance gate, checked at the largest swept size
+            scale_min_speedup=5.0,
         ),
     ),
 }

@@ -1,7 +1,7 @@
 """Discrete-event simulator scenarios for the bench registry.
 
-Three end-to-end trajectories land in ``BENCH_core.json`` next to the
-kernel benchmarks:
+Four simulator series land in ``BENCH_core.json`` next to the kernel
+benchmarks:
 
 * ``sim_steady``  -- fixed population, COSMOS initial distribution,
   periodic adaptation; the baseline latency/throughput numbers.
@@ -11,9 +11,15 @@ kernel benchmarks:
   latencies are nonzero (they derive from topology transit delays).
 * ``sim_hotspot`` -- mid-run rate shift on a batch of substreams, with
   adaptation reacting to the *measured* load change.
+* ``sim_scale``   -- the dissemination hot path in isolation: a sweep of
+  (processors x subscriptions) points publishing one event batch through
+  the counting forwarding index and through the reference scan path,
+  asserting bit-identical delivery and recording wall-clock seconds per
+  simulated tuple on both (the reference/fast discipline of the kernel
+  scenarios, applied to the pub/sub layer).
 
-Unlike the kernel scenarios there is no reference/fast split: the wall
-time recorded here is the simulator's own cost trajectory, and the
+For the first three there is no reference/fast split: the wall time
+recorded there is the simulator's own cost trajectory, and the
 ``trace`` field carries the full time series.
 """
 
@@ -21,8 +27,12 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict
+from typing import Dict, List, Tuple
 
+import numpy as np
+
+from ..pubsub import Advertisement, Event, Filter, PubSubNetwork, Subscription
+from ..query.interest import SubstreamSpace
 from ..sim import (
     ChurnParams,
     HotSpotShift,
@@ -30,8 +40,10 @@ from ..sim import (
     SimWorkloadParams,
     run_scenario,
 )
+from ..topology.overlay import minimum_latency_spanning_tree
 from ..topology.transit_stub import TransitStubParams
-from .scenarios import scenario
+from .scenarios import SyntheticOracle, scenario
+from .timers import measure
 
 __all__ = ["sim_settings"]
 
@@ -140,6 +152,149 @@ def bench_sim_churn(scale: Dict) -> Dict:
         "stddev_improved": report.trace.stddev_improved(),
     }
     return result
+
+
+def _scale_testbed(
+    processors: int, subscriptions: int, events: int, seed: int
+) -> Tuple[List[PubSubNetwork], List[Tuple[int, Event]]]:
+    """Two identically subscribed networks (indexed, reference) + events.
+
+    Built from one seeded :class:`SubstreamSpace.random` and one rng, the
+    same :class:`Subscription` objects installed in both networks, so
+    delivery traces are directly comparable sub_id for sub_id.  The
+    subscription mix exercises every index stage: pure stream
+    subscriptions, interval and membership filters on ``value``, and
+    projections; roughly one in eight subscribers churns (unsubscribe +
+    covering repair via ``force=True``), so the swept tables include
+    re-propagated and pruned state, not just pristine adds.
+    """
+    rng = np.random.default_rng(seed)
+    n_sources = max(4, processors // 8)
+    sources = list(range(n_sources))
+    procs = list(range(n_sources, n_sources + processors))
+    oracle = SyntheticOracle(n_sources + processors, seed=seed)
+    substreams = max(64, subscriptions // 32)
+    space = SubstreamSpace.random(substreams, sources, rng=rng)
+    tree = minimum_latency_spanning_tree(sources + procs, oracle)
+    nets = [
+        PubSubNetwork(tree, record_deliveries=False, use_index=use_index)
+        for use_index in (True, False)
+    ]
+    for sid in range(len(space)):
+        adv = Advertisement(stream=f"S{sid}")
+        for net in nets:
+            net.advertise(int(space.source_of[sid]), adv)
+
+    churned: List[Tuple[int, Subscription]] = []
+    for i in range(subscriptions):
+        node = procs[int(rng.integers(len(procs)))]
+        k = 1 + int(rng.integers(2))
+        sids = rng.choice(substreams, size=k, replace=False)
+        streams = [f"S{int(s)}" for s in sids]
+        draw = rng.random()
+        if draw < 0.6:
+            lo = int(rng.integers(0, 800))
+            hi = lo + int(rng.integers(50, 200))
+            filt = Filter.of(("value", ">=", lo), ("value", "<", hi))
+        elif draw < 0.7:
+            filt = Filter.of(
+                ("value", "in",
+                 frozenset(int(v) for v in rng.integers(0, 1000, size=5))),
+            )
+        else:
+            filt = Filter()
+        projection = frozenset({"value"}) if rng.random() < 0.3 else None
+        sub = Subscription.to_streams(streams, projection=projection, filter=filt)
+        for net in nets:
+            net.subscribe(node, sub)
+        if i % 8 == 0:
+            churned.append((node, sub))
+    # covering-repair churn: tear down and force-re-propagate survivors
+    for node, sub in churned:
+        for net in nets:
+            net.unsubscribe(sub.sub_id)
+    for node, sub in churned[::2]:
+        for net in nets:
+            net.subscribe(node, sub, force=True)
+
+    batch: List[Tuple[int, Event]] = []
+    for _ in range(events):
+        sid = int(rng.integers(substreams))
+        event = Event(
+            stream=f"S{sid}",
+            attributes={
+                "value": int(rng.integers(0, 1000)),
+                "timestamp": float(len(batch)),
+            },
+            size=1.0,
+        )
+        batch.append((int(space.source_of[sid]), event))
+    return nets, batch
+
+
+def _publish_batch(net: PubSubNetwork, batch) -> List[Tuple]:
+    """Deliveries of a whole event batch, in a comparable normal form."""
+    out: List[Tuple] = []
+    for source, event in batch:
+        for node, ev, sub in net.publish(source, event):
+            out.append(
+                (node, sub.sub_id, tuple(sorted(ev.attributes.items())), ev.size)
+            )
+    return out
+
+
+@scenario("sim_scale")
+def bench_sim_scale(scale: Dict) -> Dict:
+    """Dissemination sweep: counting index vs reference scans per tuple."""
+    sim = sim_settings(scale)
+    sweep = []
+    for processors, subscriptions in sim["scale_sweep"]:
+        events = sim["scale_events"]
+        nets, batch = _scale_testbed(
+            processors, subscriptions, events, seed=sim["seed"]
+        )
+        indexed_net, reference_net = nets
+        # publishing mutates only traffic accounting, so repeated batches
+        # are identical; best-of-3 after a warmup keeps the CI speedup
+        # gates off single-sample noise (a GC pause in one ~5 ms batch)
+        fast_out, fast_t = measure(lambda: _publish_batch(indexed_net, batch),
+                                   repeat=3, warmup=1)
+        ref_out, ref_t = measure(lambda: _publish_batch(reference_net, batch),
+                                 repeat=3, warmup=1)
+        assert fast_out == ref_out, (
+            f"indexed/reference delivery traces diverge at "
+            f"{processors}x{subscriptions}"
+        )
+        sweep.append({
+            "processors": processors,
+            "subscriptions": subscriptions,
+            "events": events,
+            "deliveries": len(fast_out),
+            "reference_s_per_tuple": ref_t.best / events,
+            "fast_s_per_tuple": fast_t.best / events,
+            "speedup": ref_t.best / fast_t.best,
+        })
+    largest = sweep[-1]
+    min_speedup = sim.get("scale_min_speedup")
+    if min_speedup is not None:
+        assert largest["speedup"] >= min_speedup, (
+            f"forwarding index speedup {largest['speedup']:.1f}x below the "
+            f"{min_speedup:g}x acceptance gate at "
+            f"{largest['processors']}x{largest['subscriptions']}"
+        )
+    return {
+        "params": {
+            "sweep": [
+                f"{p['processors']}x{p['subscriptions']}" for p in sweep
+            ],
+            "events": sim["scale_events"],
+        },
+        "reference_s": largest["reference_s_per_tuple"] * largest["events"],
+        "fast_s": largest["fast_s_per_tuple"] * largest["events"],
+        "speedup": largest["speedup"],
+        "parity": {"identical_deliveries": True},
+        "sweep": sweep,
+    }
 
 
 @scenario("sim_hotspot")

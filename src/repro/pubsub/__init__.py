@@ -1,6 +1,7 @@
 """Siena-like content-based publish/subscribe substrate."""
 
 from .broker import Broker
+from .index import EventMatch, ForwardingIndex
 from .messages import Event, result_stream_name
 from .network import PubSubNetwork
 from .predicates import AttributeRange, Constraint, Filter, TRUE_FILTER
@@ -18,6 +19,8 @@ __all__ = [
     "Advertisement",
     "RoutingTable",
     "LOCAL",
+    "ForwardingIndex",
+    "EventMatch",
     "Broker",
     "PubSubNetwork",
 ]

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from .messages import Event
-from .routing import LOCAL, Interface, RoutingTable
+from .routing import Interface, RoutingTable
 from .subscriptions import Subscription
 
 __all__ = ["Broker"]
@@ -23,20 +23,32 @@ class Broker:
     #: keep the ``delivered`` log?  The discrete-event simulator routes
     #: millions of tuples through one network and turns this off.
     record_deliveries: bool = True
+    #: forwarded to :class:`RoutingTable` when the table is auto-created
+    use_index: bool = True
 
     def __post_init__(self):
         if self.table is None:
-            self.table = RoutingTable(broker=self.node)
+            self.table = RoutingTable(broker=self.node, use_index=self.use_index)
 
     def deliver_local(self, event: Event) -> List[Tuple[Event, Subscription]]:
-        """Deliver ``event`` to every matching local subscription.
+        """Deliver ``event`` to every matching local subscription."""
+        return self.deliver_matched(
+            event, self.table.matching_local_subscriptions(event)
+        )
 
-        Each local subscriber receives its own projected copy; the pairs
-        are recorded for test observability (unless ``record_deliveries``
-        is off) and returned.
+    def deliver_matched(
+        self, event: Event, matching: Iterable[Subscription]
+    ) -> List[Tuple[Event, Subscription]]:
+        """Deliver ``event`` to the given (already matched) subscriptions.
+
+        The network layer matches once per dissemination hop
+        (:meth:`RoutingTable.match_event`) and hands the LOCAL matches
+        here.  Each local subscriber receives its own projected copy; the
+        pairs are recorded for test observability (unless
+        ``record_deliveries`` is off) and returned.
         """
         out = []
-        for sub in self.table.matching_local_subscriptions(event):
+        for sub in matching:
             projected = sub.deliverable(event)
             if self.record_deliveries:
                 self.delivered.append((projected, sub))
@@ -49,11 +61,4 @@ class Broker:
         ``None`` means "all attributes" (some matching subscription has no
         projection).  Used for in-network projection before forwarding.
         """
-        needed: Set[str] = set()
-        for sub in self.table.subscriptions.get(iface, []):
-            if not sub.matches(event):
-                continue
-            if sub.projection is None:
-                return None
-            needed |= sub.projection
-        return needed
+        return self.table.needed_attributes(event, iface)

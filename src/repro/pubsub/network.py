@@ -41,12 +41,20 @@ def _edge(u: int, v: int) -> Tuple[int, int]:
 class PubSubNetwork:
     """A content-based pub/sub service over an overlay tree."""
 
-    def __init__(self, tree: OverlayTree, record_deliveries: bool = True):
+    def __init__(
+        self,
+        tree: OverlayTree,
+        record_deliveries: bool = True,
+        use_index: bool = True,
+    ):
         if not tree.is_tree():
             raise ValueError("pub/sub overlay must be an acyclic connected tree")
         self.tree = tree
+        self.use_index = use_index
         self.brokers: Dict[int, Broker] = {
-            n: Broker(node=n, record_deliveries=record_deliveries)
+            n: Broker(
+                node=n, record_deliveries=record_deliveries, use_index=use_index
+            )
             for n in tree.nodes
         }
         #: cumulative data bytes forwarded per link
@@ -132,20 +140,24 @@ class PubSubNetwork:
         """Route ``event`` from ``source``; returns local deliveries.
 
         Each returned triple is ``(node, projected_event, subscription)``.
+        Each dissemination hop matches the event against the broker's
+        table exactly once (:meth:`RoutingTable.match_event`) -- one index
+        probe (or one reference scan) yields the local deliveries, the
+        forwarding set *and* the per-link projections.  Neighbour links
+        are walked in sorted order so delivery order is identical on the
+        indexed and reference paths.
         """
         deliveries: List[Tuple[int, Event, Subscription]] = []
         queue = deque([(source, None, event)])
         while queue:
             node, arrived_via, ev = queue.popleft()
             broker = self._broker(node)
-            for projected, sub in broker.deliver_local(ev):
+            match = broker.table.match_event(ev, arrived_via)
+            for projected, sub in broker.deliver_matched(ev, match.local):
                 deliveries.append((node, projected, sub))
-            for iface in broker.table.forwarding_interfaces(ev, arrived_via):
-                if iface == LOCAL:
-                    continue
-                nbr = iface
+            for nbr in match.forward_order(LOCAL):
                 assert isinstance(nbr, int)
-                needed = broker.needed_attributes(ev, iface)
+                needed = match.needed[nbr]
                 forwarded = ev if needed is None else ev.project(needed)
                 self._account(self.link_bytes, node, nbr, forwarded.size)
                 queue.append((nbr, node, forwarded))

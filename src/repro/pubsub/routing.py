@@ -6,6 +6,16 @@ Siena's: the advertisement table records, per advertisement, the interface
 leading back to the advertiser; the subscription table records, per
 interface, which subscriptions were received from it, so that events are
 forwarded only toward interested parties.
+
+Event matching runs on one of two paths:
+
+* the **indexed** path (default, ``use_index=True``) keeps a
+  :class:`~repro.pubsub.index.ForwardingIndex` incrementally consistent
+  with the table and answers :meth:`RoutingTable.match_event` with one
+  counting probe;
+* the **reference** path (``use_index=False``) scans every entry, the
+  original semantics the index must reproduce bit-for-bit
+  (``tests/test_forwarding_index.py``).
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
+from .index import EventMatch, ForwardingIndex
 from .messages import Event
 from .subscriptions import Advertisement, Subscription
 
@@ -35,6 +46,18 @@ class RoutingTable:
     )
     #: interface -> subscriptions received from that interface
     subscriptions: Dict[Interface, List[Subscription]] = field(default_factory=dict)
+    #: answer event matching from the counting index (False = reference scans)
+    use_index: bool = True
+    _index: Optional[ForwardingIndex] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self):
+        if self.use_index:
+            self._index = ForwardingIndex(LOCAL)
+            for iface, entries in self.subscriptions.items():
+                for sub in entries:
+                    self._index.add(sub, iface)
 
     # ------------------------------------------------------------------
     # advertisements
@@ -63,51 +86,151 @@ class RoutingTable:
     def add_subscription(self, sub: Subscription, via: Interface) -> bool:
         """Install ``sub`` for interface ``via``.
 
-        For neighbour interfaces, returns True if the table changed (i.e.
-        no existing subscription from the same interface already covers
-        the new one); covered older entries from the same interface are
-        pruned, keeping tables compact.  LOCAL entries represent distinct
-        subscribers and are therefore never covered away -- every local
-        subscriber must keep receiving its own deliveries.
+        Returns True if the table changed.  An interface never holds two
+        entries with one ``sub_id``: a re-declared subscription (e.g. the
+        covering-repair path re-propagating with ``force=True``, or a
+        subscriber narrowing its filter) first displaces its stale entry
+        -- appending next to it would bloat :meth:`size` and double-count
+        deliveries.  On LOCAL the replacement is *in place* (same list
+        position, preserving delivery order); on neighbour interfaces the
+        stale entry is dropped and the redeclaration then goes through
+        the ordinary covering logic -- covering entries from the same
+        interface suppress the add and covered older entries are pruned,
+        keeping tables compact even across redeclarations.  LOCAL entries
+        represent distinct subscribers and are never covered away --
+        every local subscriber must keep receiving its own deliveries.
         """
         entries = self.subscriptions.setdefault(via, [])
-        if via == LOCAL:
-            if any(e.sub_id == sub.sub_id for e in entries):
-                return False
-            entries.append(sub)
-            return True
-        for existing in entries:
-            if existing.covers(sub):
-                return False
-        entries[:] = [e for e in entries if not sub.covers(e)]
+        changed = False
+        for pos, existing in enumerate(entries):
+            if existing.sub_id == sub.sub_id:
+                if existing is sub or existing == sub:
+                    return False
+                if via == LOCAL:
+                    entries[pos] = sub  # replace, keep delivery position
+                    if self._index is not None:
+                        self._index.add(sub, via)
+                    return True
+                del entries[pos]  # stale: drop, then re-apply covering
+                if self._index is not None:
+                    self._index.remove(sub.sub_id, via)
+                changed = True
+                break
+        if via != LOCAL:
+            for existing in entries:
+                if existing.covers(sub):
+                    return changed
+            kept, pruned = [], []
+            for e in entries:
+                (pruned if sub.covers(e) else kept).append(e)
+            if pruned:
+                entries[:] = kept
+                if self._index is not None:
+                    for e in pruned:
+                        self._index.remove(e.sub_id, via)
         entries.append(sub)
+        if self._index is not None:
+            self._index.add(sub, via)
         return True
 
     def remove_subscription(self, sub_id: int, via: Optional[Interface] = None) -> None:
+        """Drop every ``sub_id`` entry (from ``via`` only, if given).
+
+        Safe against concurrent readers: interface keys are collected
+        up front and entry lists are updated by slice assignment, so a
+        caller mid-iteration (a dissemination hop whose
+        :class:`~repro.pubsub.index.EventMatch` was computed eagerly, or
+        anything walking :meth:`iter_entries`) never sees the dict mutate
+        under it.
+        """
         ifaces = [via] if via is not None else list(self.subscriptions)
         for iface in ifaces:
             entries = self.subscriptions.get(iface)
             if entries is None:
                 continue
-            entries[:] = [e for e in entries if e.sub_id != sub_id]
+            kept = [e for e in entries if e.sub_id != sub_id]
+            if len(kept) == len(entries):
+                continue
+            entries[:] = kept
+            if self._index is not None:
+                self._index.remove(sub_id, iface)
             if not entries:
                 del self.subscriptions[iface]
+
+    def iter_entries(self) -> List[Tuple[Interface, Subscription]]:
+        """Snapshot of every (interface, subscription) entry.
+
+        Taken eagerly so callers may unsubscribe while consuming it.
+        """
+        return [
+            (iface, sub)
+            for iface, entries in list(self.subscriptions.items())
+            for sub in list(entries)
+        ]
+
+    # ------------------------------------------------------------------
+    # event matching
+    # ------------------------------------------------------------------
+    def match_event(
+        self, event: Event, arrived_via: Optional[Interface] = None
+    ) -> EventMatch:
+        """Everything one dissemination hop needs, in one probe.
+
+        The result is computed eagerly (it never aliases live table
+        state), so a subscription removed mid-hop cannot invalidate it.
+        """
+        if self._index is not None:
+            return self._index.match(event, arrived_via)
+        out = EventMatch()
+        for iface, entries in list(self.subscriptions.items()):
+            if iface == arrived_via:
+                continue
+            matching = [s for s in entries if s.matches(event)]
+            if not matching:
+                continue
+            out.interfaces.add(iface)
+            if iface == LOCAL:
+                out.local = matching
+            needed: Optional[Set[str]] = set()
+            for sub in matching:
+                if sub.projection is None:
+                    needed = None
+                    break
+                needed |= sub.projection
+            out.needed[iface] = needed
+        return out
 
     def forwarding_interfaces(
         self, event: Event, arrived_via: Optional[Interface] = None
     ) -> Set[Interface]:
         """Interfaces (incl. LOCAL) with at least one subscription matching."""
-        out: Set[Interface] = set()
-        for iface, entries in self.subscriptions.items():
-            if iface == arrived_via:
-                continue
-            if any(s.matches(event) for s in entries):
-                out.add(iface)
-        return out
+        return self.match_event(event, arrived_via).interfaces
 
     def matching_local_subscriptions(self, event: Event) -> List[Subscription]:
+        if self._index is not None:
+            return self._index.local_matches(event)
         return [s for s in self.subscriptions.get(LOCAL, []) if s.matches(event)]
 
+    def needed_attributes(
+        self, event: Event, iface: Interface
+    ) -> Optional[Set[str]]:
+        """Attributes required by matching subscriptions on ``iface``.
+
+        ``None`` means "all attributes" (some matching subscription has
+        no projection); an empty set means nothing on ``iface`` matches.
+        """
+        if self._index is not None:
+            return self._index.needed_for(event, iface)
+        needed: Set[str] = set()
+        for sub in list(self.subscriptions.get(iface, [])):
+            if not sub.matches(event):
+                continue
+            if sub.projection is None:
+                return None
+            needed |= sub.projection
+        return needed
+
+    # ------------------------------------------------------------------
     def covered_upstream(self, sub: Subscription, toward: Interface) -> bool:
         """Whether a subscription already forwarded from any *other*
         interface covers ``sub`` -- in a tree, any subscription recorded at
@@ -115,7 +238,7 @@ class RoutingTable:
         neighbours, so a covering entry from a different interface than
         ``toward`` means the upstream broker at ``toward`` already knows a
         covering subscription."""
-        for iface, entries in self.subscriptions.items():
+        for iface, entries in list(self.subscriptions.items()):
             if iface == toward:
                 continue
             if any(e.covers(sub) and e.sub_id != sub.sub_id for e in entries):
@@ -123,4 +246,4 @@ class RoutingTable:
         return False
 
     def size(self) -> int:
-        return sum(len(v) for v in self.subscriptions.values())
+        return sum(len(v) for v in list(self.subscriptions.values()))

@@ -105,6 +105,9 @@ class ScenarioParams:
     hotspot: Optional[HotSpotShift] = None
     #: per-state-tuple serialisation cost added to a migration's handoff
     handoff_ms_per_tuple: float = 0.05
+    #: route dissemination through the counting forwarding index (False =
+    #: the reference scan path; traces must be identical either way)
+    use_index: bool = True
 
 
 @dataclass
@@ -184,7 +187,9 @@ class SimCluster:
         overlay = minimum_latency_spanning_tree(
             self.sources + self.processors, oracle
         )
-        self.network = PubSubNetwork(overlay, record_deliveries=False)
+        self.network = PubSubNetwork(
+            overlay, record_deliveries=False, use_index=params.use_index
+        )
         from ..pubsub.subscriptions import Advertisement
 
         for sid in range(len(space)):

@@ -23,10 +23,19 @@ Action = Callable[[], None]
 
 
 class EventLoop:
-    """Seeded-simulation event loop (heap-based, deterministic)."""
+    """Seeded-simulation event loop (heap-based, deterministic).
 
-    def __init__(self, start: float = 0.0):
+    ``past_epsilon`` bounds how far behind ``now`` a schedule may ask
+    for: within it the time is clamped to ``now`` (absorbing float
+    round-off), beyond it :meth:`schedule` raises -- silently clamping a
+    genuinely past timestamp would mask causality bugs in the caller
+    (an effect scheduled before its cause), exactly the class of error a
+    deterministic simulator exists to surface.
+    """
+
+    def __init__(self, start: float = 0.0, past_epsilon: float = 1e-9):
         self.now: float = start
+        self.past_epsilon = past_epsilon
         self._heap: List[Tuple[float, int, Action]] = []
         self._seq = itertools.count()
         self.processed: int = 0
@@ -34,10 +43,16 @@ class EventLoop:
     def schedule(self, when: float, action: Action) -> None:
         """Schedule ``action`` at absolute time ``when``.
 
-        Scheduling in the past is clamped to ``now`` (the action still
-        runs after every event already queued at ``now``, preserving the
-        deterministic total order).
+        Raises ``ValueError`` if ``when`` lies more than ``past_epsilon``
+        before ``now``; times within the epsilon are clamped to ``now``
+        (the action still runs after every event already queued at
+        ``now``, preserving the deterministic total order).
         """
+        if when < self.now - self.past_epsilon:
+            raise ValueError(
+                f"cannot schedule at t={when!r}: already at t={self.now!r} "
+                f"(beyond past_epsilon={self.past_epsilon!r})"
+            )
         heapq.heappush(self._heap, (max(when, self.now), next(self._seq), action))
 
     def schedule_in(self, delay: float, action: Action) -> None:

@@ -54,12 +54,14 @@ class TestRegistry:
         for name in (
             "wec_eval", "diffusion", "coarsening",
             "attach_costs", "rebalance", "distribute_e2e",
+            "sim_steady", "sim_churn", "sim_hotspot", "sim_scale",
         ):
             assert name in SCENARIOS
 
     def test_scales_have_required_keys(self):
         for scale in SCALES.values():
             assert {"wec_queries", "processors", "repeat"} <= set(scale)
+            assert {"scale_sweep", "scale_events"} <= set(scale["sim"])
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(KeyError):

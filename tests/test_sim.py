@@ -40,12 +40,31 @@ class TestEventLoop:
         loop.run()
         assert seen == ["a", "b", "c"]
 
-    def test_past_scheduling_clamped_to_now(self):
+    def test_past_scheduling_raises(self):
+        """Scheduling before ``now`` is a causality bug, not a clamp."""
+        loop = EventLoop()
+        failures = []
+
+        def at_two():
+            try:
+                loop.schedule(1.0, lambda: None)
+            except ValueError as exc:
+                failures.append(exc)
+
+        loop.schedule(2.0, at_two)
+        loop.run()
+        assert len(failures) == 1
+        assert loop.now == 2.0
+
+    def test_past_scheduling_within_epsilon_clamped(self):
+        """Float round-off below ``past_epsilon`` still clamps to now."""
         loop = EventLoop()
         seen = []
-        loop.schedule(2.0, lambda: loop.schedule(1.0, lambda: seen.append("late")))
+        loop.schedule(
+            2.0, lambda: loop.schedule(2.0 - 1e-12, lambda: seen.append("ok"))
+        )
         loop.run()
-        assert seen == ["late"]
+        assert seen == ["ok"]
         assert loop.now == 2.0
 
     def test_run_until_horizon(self):
