@@ -37,3 +37,10 @@ def test_core_kernels(benchmark):
     # scale, inside the scenario itself)
     assert by_name["sim_scale"]["parity"]["identical_deliveries"]
     assert by_name["sim_scale"]["speedup"] >= 1.5
+    # columnar batch plane: bit-identical to the scalar reference, and it
+    # must win on the join-heavy engine sweep (the >= 5x acceptance gate
+    # applies at full scale, inside the scenario itself)
+    assert by_name["engine_batch"]["parity"]["identical_results"]
+    assert by_name["engine_batch"]["parity"]["identical_cpu"]
+    assert by_name["engine_batch"]["speedup"] >= 1.5
+    assert all(by_name["sim_batch"]["parity"].values())

@@ -1,0 +1,249 @@
+"""Engine data-plane scenarios: columnar batches vs scalar tuples.
+
+Two scenarios land in ``BENCH_core.json``:
+
+* ``engine_batch`` -- the continuous-query engine in isolation: a sweep
+  of (tuples x window seconds x selectivity) points pushing a join-heavy
+  workload through ``Engine.push`` (the scalar reference) and
+  ``Engine.push_batch`` (the columnar path), asserting bit-identical
+  results and CPU counters and recording wall-clock seconds per tuple on
+  both.  The largest (join-heavy) point carries the acceptance gate: the
+  batch plane must be at least ``engine_min_speedup`` x faster per tuple.
+* ``sim_batch``   -- the batched ``sim_scale`` variant: one full
+  discrete-event scenario (churn + hot spot + adaptation) run on the
+  scalar and batch data planes, asserting bit-identical traces,
+  delivery results, link traffic and CPU counters, and recording the
+  end-to-end wall-clock on each plane.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..engine import Engine, StreamTuple, TupleBatch
+from ..query.parser import parse_query
+from ..sim import ChurnParams, HotSpotShift, ScenarioParams, run_scenario
+from .scenarios import scenario
+from .sim_scenarios import _topology, _workload, sim_settings
+from .timers import measure
+
+__all__ = ["engine_settings"]
+
+#: integer value domain of the generated readings
+_DOMAIN = 1000
+
+
+def engine_settings(scale: Dict) -> Dict:
+    """The ``engine`` sub-dict of a bench scale, with defaults applied."""
+    cfg = dict(scale["engine"])
+    cfg.setdefault("seed", 0)
+    cfg.setdefault("dt", 0.05)
+    cfg.setdefault("batch", 256)
+    cfg.setdefault("repeat", 2)
+    return cfg
+
+
+def _queries(window_s: int, selectivity: float) -> List[Tuple[str, str]]:
+    """A join-heavy query mix: one equality band join + one selection."""
+    thr = int((1.0 - selectivity) * _DOMAIN)
+    return [
+        (
+            f"SELECT * FROM R [Range {window_s} Seconds] A,"
+            f" S [Range {window_s} Seconds] B"
+            f" WHERE A.value = B.value AND A.value > {thr}",
+            "join",
+        ),
+        (f"SELECT A.value FROM R [Range {window_s} Seconds] A"
+         f" WHERE A.value > {thr}", "sel"),
+    ]
+
+
+def _tuple_runs(
+    tuples: int, batch: int, dt: float, seed: int
+) -> List[List[StreamTuple]]:
+    """Alternating same-stream runs of ``batch`` tuples each.
+
+    The flattened run sequence is the scalar input order, so pushing run
+    batches and pushing tuples one by one traverse identical streams.
+    """
+    rng = np.random.default_rng(seed)
+    runs: List[List[StreamTuple]] = []
+    t = 0.0
+    for r in range(max(1, tuples // batch)):
+        stream = "R" if r % 2 == 0 else "S"
+        values = rng.integers(0, _DOMAIN, size=batch)
+        run = []
+        for v in values:
+            t += dt
+            run.append(
+                StreamTuple(stream, {"value": int(v), "timestamp": t})
+            )
+        runs.append(run)
+    return runs
+
+
+def _run_point(
+    tuples: int, window_s: int, selectivity: float, cfg: Dict
+) -> Dict:
+    """Measure one sweep point on both data planes; assert parity."""
+    runs = _tuple_runs(tuples, cfg["batch"], cfg["dt"], cfg["seed"])
+    flat = [t for run in runs for t in run]
+    queries = _queries(window_s, selectivity)
+    n = len(flat)
+
+    def scalar() -> Engine:
+        engine = Engine(use_batches=False, retain_results=None)
+        for text, name in queries:
+            engine.add_query(parse_query(text, name=name))
+        for t in flat:
+            engine.push(t)
+        return engine
+
+    def batched() -> Engine:
+        engine = Engine(retain_results=None)
+        for text, name in queries:
+            engine.add_query(parse_query(text, name=name))
+        for run in runs:
+            engine.push_batch(TupleBatch.from_tuples(run[0].stream, run))
+        return engine
+
+    ref_engine, ref_t = measure(scalar, repeat=cfg["repeat"], warmup=0)
+    fast_engine, fast_t = measure(batched, repeat=cfg["repeat"], warmup=0)
+    results_equal = all(
+        [dict(t.values) for t in ref_engine.results[name]]
+        == [dict(t.values) for t in fast_engine.results[name]]
+        for _, name in queries
+    )
+    cpu_equal = ref_engine.cpu_costs() == fast_engine.cpu_costs()
+    assert results_equal, (
+        f"batch/scalar results diverge at {tuples}x{window_s}x{selectivity}"
+    )
+    assert cpu_equal, (
+        f"batch/scalar CPU counters diverge at {tuples}x{window_s}x{selectivity}"
+    )
+    return {
+        "tuples": n,
+        "window_s": window_s,
+        "selectivity": selectivity,
+        "inspected": ref_engine.cpu_costs()["join"],
+        "results": len(ref_engine.results["join"]),
+        "reference_s_per_tuple": ref_t.best / n,
+        "fast_s_per_tuple": fast_t.best / n,
+        "reference_s": ref_t.best,
+        "fast_s": fast_t.best,
+        "speedup": ref_t.best / fast_t.best,
+    }
+
+
+@scenario("engine_batch")
+def bench_engine_batch(scale: Dict) -> Dict:
+    """Engine sweep: columnar batches vs per-tuple pushes."""
+    cfg = engine_settings(scale)
+    sweep = [
+        _run_point(tuples, window_s, selectivity, cfg)
+        for tuples, window_s, selectivity in cfg["sweep"]
+    ]
+    heavy = max(sweep, key=lambda p: p["inspected"])
+    min_speedup = cfg.get("min_speedup")
+    if min_speedup is not None:
+        assert heavy["speedup"] >= min_speedup, (
+            f"engine batch speedup {heavy['speedup']:.1f}x below the "
+            f"{min_speedup:g}x acceptance gate at "
+            f"{heavy['tuples']}x{heavy['window_s']}s"
+        )
+    return {
+        "params": {
+            "sweep": [
+                f"{p['tuples']}x{p['window_s']}s@{p['selectivity']:g}"
+                for p in sweep
+            ],
+            "batch_rows": cfg["batch"],
+        },
+        "reference_s": heavy["reference_s"],
+        "fast_s": heavy["fast_s"],
+        "speedup": heavy["speedup"],
+        "parity": {"identical_results": True, "identical_cpu": True},
+        "sweep": sweep,
+    }
+
+
+@scenario("sim_batch")
+def bench_sim_batch(scale: Dict) -> Dict:
+    """Batched sim variant: full cluster runs on both data planes.
+
+    Runs at ``batch_rate_range`` source rates -- the heavy-traffic regime
+    source coalescing exists for (at trickle rates every batch degenerates
+    to one row and the planes merely tie).  Churn + hot spot stay on, so
+    the parity assertions cover the full control plane.
+    """
+    sim = sim_settings(scale)
+    sim["rate_range"] = sim.get("batch_rate_range", (4.0, 10.0))
+
+    def params(use_batches: bool) -> ScenarioParams:
+        return ScenarioParams(
+            duration=sim["duration"],
+            sample_interval=sim["sample_interval"],
+            adapt_interval=sim["adapt_interval"],
+            initial_placement="skewed",
+            churn=ChurnParams(
+                arrival_rate=sim["churn_arrival"],
+                mean_lifetime=sim["churn_lifetime"],
+            ),
+            hotspot=HotSpotShift(
+                at=sim["duration"] / 2.0,
+                substreams=max(4, sim["substreams"] // 8),
+                factor=3.0,
+            ),
+            use_batches=use_batches,
+        )
+
+    def run(use_batches: bool):
+        t0 = time.perf_counter()
+        report = run_scenario(
+            seed=sim["seed"],
+            topology=_topology(sim),
+            num_sources=sim["sources"],
+            num_processors=sim["processors"],
+            workload=_workload(sim),
+            scenario=params(use_batches),
+            record=True,
+        )
+        return report, time.perf_counter() - t0
+
+    scalar, ref_s = run(False)
+    batched, fast_s = run(True)
+    trace_equal = json.dumps(
+        scalar.trace.to_dict(), sort_keys=True
+    ) == json.dumps(batched.trace.to_dict(), sort_keys=True)
+    assert trace_equal, "sim_batch: trace time series diverged"
+    assert scalar.results == batched.results, "sim_batch: results diverged"
+    assert scalar.link_bytes == batched.link_bytes, (
+        "sim_batch: link traffic diverged"
+    )
+    assert scalar.cpu_costs == batched.cpu_costs, (
+        "sim_batch: CPU counters diverged"
+    )
+    return {
+        "params": {
+            "processors": sim["processors"],
+            "substreams": sim["substreams"],
+            "initial_queries": sim["queries"],
+            "duration_s": sim["duration"],
+            "tuples": batched.tuples_emitted,
+            "events_scalar": scalar.events_processed,
+            "events_batch": batched.events_processed,
+        },
+        "reference_s": ref_s,
+        "fast_s": fast_s,
+        "speedup": ref_s / fast_s,
+        "parity": {
+            "identical_trace": True,
+            "identical_results": True,
+            "identical_link_bytes": True,
+            "identical_cpu": True,
+        },
+    }

@@ -43,7 +43,10 @@ __all__ = ["SCALES", "SCENARIOS", "run_scenarios", "scenario", "SyntheticOracle"
 #: ``topology`` is (transit_domains, transit_nodes, stubs_per_transit,
 #: stub_nodes) and rates are tuples/s per substream.  ``scale_sweep``
 #: lists the (processors, subscriptions) points of the ``sim_scale``
-#: dissemination sweep (ISSUE 3: indexed vs reference forwarding).
+#: dissemination sweep (ISSUE 3: indexed vs reference forwarding).  The
+#: ``engine`` sub-dict sizes the ``engine_batch`` data-plane sweep
+#: (ISSUE 4): ``sweep`` lists (tuples, window seconds, selectivity)
+#: points and ``batch`` is the rows-per-batch of the columnar path.
 SCALES: Dict[str, Dict] = {
     "smoke": dict(
         wec_queries=200, processors=8, substreams=500, sources=10,
@@ -57,6 +60,11 @@ SCALES: Dict[str, Dict] = {
             churn_arrival=0.4, churn_lifetime=12.0,
             scale_sweep=[(8, 200), (16, 500)],
             scale_events=60,
+            batch_rate_range=(2.0, 5.0),
+        ),
+        engine=dict(
+            sweep=[(4096, 5, 0.5), (4096, 10, 0.3)],
+            batch=128, repeat=2,
         ),
     ),
     "quick": dict(
@@ -71,6 +79,11 @@ SCALES: Dict[str, Dict] = {
             churn_arrival=0.6, churn_lifetime=20.0,
             scale_sweep=[(16, 500), (32, 1000), (64, 2500)],
             scale_events=80,
+            batch_rate_range=(2.0, 6.0),
+        ),
+        engine=dict(
+            sweep=[(10240, 5, 0.5), (10240, 15, 0.3), (20480, 20, 0.3)],
+            batch=256, repeat=2,
         ),
     ),
     "full": dict(
@@ -87,6 +100,17 @@ SCALES: Dict[str, Dict] = {
             scale_events=100,
             # ISSUE 3 acceptance gate, checked at the largest swept size
             scale_min_speedup=5.0,
+            batch_rate_range=(3.0, 8.0),
+        ),
+        engine=dict(
+            sweep=[
+                (20480, 5, 0.5),
+                (20480, 15, 0.3),
+                (40960, 25, 0.2),
+            ],
+            batch=256, repeat=3,
+            # ISSUE 4 acceptance gate, checked at the join-heaviest point
+            min_speedup=5.0,
         ),
     ),
 }
@@ -424,6 +448,8 @@ def run_scenarios(
 
 
 # registering the discrete-event simulator scenarios (sim_steady,
-# sim_churn, sim_hotspot) imports this module back for the decorator, so
-# the import must come after SCENARIOS/scenario are defined
+# sim_churn, sim_hotspot) and the engine data-plane scenarios
+# (engine_batch, sim_batch) imports this module back for the decorator,
+# so the imports must come after SCENARIOS/scenario are defined
 from . import sim_scenarios  # noqa: E402,F401  (registration side effect)
+from . import engine_scenarios  # noqa: E402,F401  (registration side effect)

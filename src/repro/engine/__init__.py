@@ -1,11 +1,17 @@
 """Continuous-query engine (GSN substitute) and synthetic sensor data."""
 
 from .executor import Engine
-from .operators import Project, Select, WindowJoin, evaluate_comparison
+from .operators import (
+    Project,
+    Select,
+    WindowJoin,
+    evaluate_comparison,
+    evaluate_predicates_batch,
+)
 from .plans import QueryPlan, compile_query
 from .sensors import SensorFleet, SensorStation
-from .tuples import Schema, StreamTuple
-from .windows import SlidingWindow
+from .tuples import Schema, StreamTuple, TupleBatch
+from .windows import ColumnWindow, SlidingWindow
 
 __all__ = [
     "Engine",
@@ -15,9 +21,12 @@ __all__ = [
     "Project",
     "WindowJoin",
     "evaluate_comparison",
+    "evaluate_predicates_batch",
     "Schema",
     "StreamTuple",
+    "TupleBatch",
     "SlidingWindow",
+    "ColumnWindow",
     "SensorFleet",
     "SensorStation",
 ]

@@ -4,6 +4,15 @@ An :class:`Engine` hosts compiled query plans, routes incoming stream
 tuples to the plans that read them, collects result tuples per result
 stream, and accounts CPU cost so the optimizer's per-query load estimates
 (Section 3.8) can be refreshed from real measurements.
+
+Tuples enter on one of two data planes: the scalar path (:meth:`push`,
+:meth:`push_query`, one ``dict`` tuple at a time) or the columnar batch
+path (:meth:`push_batch`, :meth:`push_query_batch`, a
+:class:`~repro.engine.tuples.TupleBatch` at a time).  The batch path is
+bit-identical to pushing the batch's rows through the scalar path one by
+one -- same results in the same per-query order, same CPU counters --
+and ``use_batches=False`` degrades it to exactly that scalar loop, which
+is the reference the parity tests compare against.
 """
 
 from __future__ import annotations
@@ -13,16 +22,37 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..query.ast import Query
 from .plans import QueryPlan, compile_query
-from .tuples import StreamTuple
+from .tuples import StreamTuple, TupleBatch
 
 __all__ = ["Engine"]
 
 
 class Engine:
-    """One stream-processing engine instance."""
+    """One stream-processing engine instance.
 
-    def __init__(self, node: Optional[int] = None):
+    ``retain_results`` bounds the per-query :attr:`results` buffers kept
+    by :meth:`push`: ``None`` retains everything (the historical
+    behaviour), ``0`` disables buffering entirely, and a positive ``n``
+    keeps only the newest ``n`` result tuples per query -- long
+    simulation runs use this so an engine cannot leak memory while
+    sinks/return values still observe every result.
+
+    ``use_batches=False`` makes the batch entry points process rows
+    through the scalar operators instead of the vectorised kernels (the
+    bit-identical reference path).
+    """
+
+    def __init__(
+        self,
+        node: Optional[int] = None,
+        retain_results: Optional[int] = None,
+        use_batches: bool = True,
+    ):
+        if retain_results is not None and retain_results < 0:
+            raise ValueError("retain_results must be None or >= 0")
         self.node = node
+        self.retain_results = retain_results
+        self.use_batches = use_batches
         self.plans: Dict[str, QueryPlan] = {}
         #: stream name -> [(query name, alias)] subscriptions
         self._readers: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
@@ -87,16 +117,64 @@ class Engine:
         self._sinks[name].append(sink)
 
     # ------------------------------------------------------------------
+    def _buffer_result(self, name: str, result: StreamTuple) -> None:
+        """Append to the per-query results buffer, honouring the cap."""
+        cap = self.retain_results
+        if cap == 0:
+            return
+        bucket = self.results[name]
+        bucket.append(result)
+        if cap is not None and len(bucket) > cap:
+            del bucket[: len(bucket) - cap]
+
     def push(self, t: StreamTuple) -> List[StreamTuple]:
         """Route one source tuple to all plans reading its stream."""
         out: List[StreamTuple] = []
         for name, alias in self._readers.get(t.stream, []):
             plan = self.plans[name]
             for result in plan.push(alias, t):
-                self.results[name].append(result)
+                self._buffer_result(name, result)
                 out.append(result)
                 for sink in self._sinks.get(name, []):
                     sink(result)
+        return out
+
+    def push_batch(self, batch: TupleBatch) -> List[StreamTuple]:
+        """Route a batch of source tuples to all plans reading its stream.
+
+        Per-query results, sinks, buffers and counters are bit-identical
+        to pushing the rows through :meth:`push` one at a time; the
+        returned list is grouped by plan (reader registration order)
+        rather than interleaved per tuple.
+        """
+        out: List[StreamTuple] = []
+        readers = self._readers.get(batch.stream, [])
+        by_plan: Dict[str, List[str]] = {}
+        for name, alias in readers:
+            by_plan.setdefault(name, []).append(alias)
+        rows: Optional[List[StreamTuple]] = None  # lazy, shared by fallbacks
+        for name, aliases in by_plan.items():
+            plan = self.plans[name]
+            if self.use_batches and len(aliases) == 1:
+                results, _ = plan.push_batch(aliases[0], batch)
+                for result in results.to_tuples():
+                    self._buffer_result(name, result)
+                    out.append(result)
+                    for sink in self._sinks.get(name, []):
+                        sink(result)
+            else:
+                # scalar fallback: a plan reading one stream through two
+                # aliases (self-join) must see rows interleaved per tuple
+                # to keep window state evolution identical
+                if rows is None:
+                    rows = batch.to_tuples()
+                for t in rows:
+                    for alias in aliases:
+                        for result in plan.push(alias, t):
+                            self._buffer_result(name, result)
+                            out.append(result)
+                            for sink in self._sinks.get(name, []):
+                                sink(result)
         return out
 
     def push_query(self, name: str, t: StreamTuple) -> List[StreamTuple]:
@@ -123,6 +201,49 @@ class Engine:
                 for sink in self._sinks.get(name, ()):
                     sink(result)
         return out
+
+    def push_query_batch(
+        self, name: str, batch: TupleBatch
+    ) -> List[List[StreamTuple]]:
+        """Route a batch to a single named plan; results grouped per row.
+
+        The batch counterpart of :meth:`push_query`: returns one result
+        list per input row (so the simulator can account latency and
+        proxy traffic per source tuple), calls the query's sinks in the
+        same order as row-at-a-time delivery, and does not buffer in
+        :attr:`results`.  Unknown names are a no-op.  Plans reading the
+        batch's stream through two aliases (self-joins) and engines with
+        ``use_batches=False`` fall back to the scalar path row by row --
+        output and counters are identical either way.
+        """
+        plan = self.plans.get(name)
+        if plan is None:
+            return [[] for _ in range(batch.n)]
+        aliases = [
+            b.alias for b in plan.query.bindings if b.stream == batch.stream
+        ]
+        if not aliases:
+            return [[] for _ in range(batch.n)]
+        sinks = self._sinks.get(name, ())
+        per_row: List[List[StreamTuple]]
+        if self.use_batches and len(aliases) == 1:
+            results, row_index = plan.push_batch(aliases[0], batch)
+            tuples = results.to_tuples()
+            per_row = [[] for _ in range(batch.n)]
+            for result, row in zip(tuples, row_index.tolist()):
+                per_row[row].append(result)
+        else:
+            per_row = []
+            for t in batch.to_tuples():
+                row_out: List[StreamTuple] = []
+                for alias in aliases:
+                    row_out.extend(plan.push(alias, t))
+                per_row.append(row_out)
+        for row_out in per_row:
+            for result in row_out:
+                for sink in sinks:
+                    sink(result)
+        return per_row
 
     def run(self, tuples: Sequence[StreamTuple]) -> Dict[str, List[StreamTuple]]:
         """Push a whole trace (must be timestamp-ordered per stream)."""

@@ -1,29 +1,52 @@
 """Continuous operators: selection, projection, window band-join.
 
-The engine is push-based: every operator exposes ``process(tuple) ->
-list of output tuples``.  Join outputs use qualified attribute names
-(``Alias.attr``), matching how the paper's merged queries and split
-subscriptions address result-stream attributes.
+The engine is push-based and runs on one of two data planes:
+
+* the scalar reference path -- every operator exposes
+  ``process(tuple) -> list of output tuples``;
+* the columnar batch path -- ``process_batch(TupleBatch)`` evaluates
+  predicates as boolean masks over column arrays, projects by column
+  selection, and joins against a :class:`~repro.engine.windows.ColumnWindow`
+  with candidate index arrays instead of per-partner dict merges.
+
+The two paths are bit-identical: same output tuples in the same order,
+same ``inspected`` counters (CPU accounting).  A single operator instance
+must stay on one path for its lifetime (window state is not shared
+between the deque and columnar representations); :class:`WindowJoin`
+raises on mixing.
+
+Join outputs use qualified attribute names (``Alias.attr``), matching how
+the paper's merged queries and split subscriptions address result-stream
+attributes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..query.ast import AttrRef, Comparison, Literal, Window
-from .tuples import StreamTuple
-from .windows import SlidingWindow
+from .tuples import StreamTuple, TupleBatch
+from .windows import ColumnWindow, SlidingWindow
 
-__all__ = ["Operator", "Select", "Project", "WindowJoin", "evaluate_comparison"]
+__all__ = [
+    "Operator",
+    "Select",
+    "Project",
+    "WindowJoin",
+    "evaluate_comparison",
+    "evaluate_predicates_batch",
+]
 
 
-def _operand_value(operand, values: Dict[str, Any]):
+def _operand_value(operand, values: Mapping[str, Any]):
     if isinstance(operand, Literal):
         return operand.value
     return values.get(str(operand))
 
 
-def evaluate_comparison(c: Comparison, values: Dict[str, Any]) -> bool:
+def evaluate_comparison(c: Comparison, values: Mapping[str, Any]) -> bool:
     """Evaluate a predicate over qualified values; missing attrs fail."""
     left = _operand_value(c.left, values)
     right = _operand_value(c.right, values)
@@ -44,11 +67,117 @@ def evaluate_comparison(c: Comparison, values: Dict[str, Any]) -> bool:
     raise AssertionError(c.op)
 
 
+_NUMPY_OPS = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _comparison_mask(
+    c: Comparison,
+    columns: Mapping[str, np.ndarray],
+    present: Mapping[str, np.ndarray],
+    n: int,
+) -> np.ndarray:
+    """Boolean mask of rows satisfying one predicate (missing -> False)."""
+    operands = []
+    valid: Optional[np.ndarray] = None
+    vectorised = True
+    for operand in (c.left, c.right):
+        if isinstance(operand, Literal):
+            value = operand.value
+            if value is None:
+                return np.zeros(n, dtype=bool)
+            operands.append(value)
+            continue
+        col = columns.get(str(operand))
+        if col is None:
+            return np.zeros(n, dtype=bool)
+        mask = present.get(str(operand))
+        if mask is not None:
+            valid = mask if valid is None else (valid & mask)
+        if col.dtype == object:
+            vectorised = False
+        operands.append(col)
+    left, right = operands
+    if vectorised:
+        try:
+            out = _NUMPY_OPS[c.op](left, right)
+        except TypeError:
+            vectorised = False
+        else:
+            if not isinstance(out, np.ndarray):  # incomparable dtypes
+                out = np.full(n, bool(out))
+            out = out.astype(bool, copy=False)
+    if not vectorised:
+        # object columns (or incomparable types): scalar semantics per row
+        lv = left.tolist() if isinstance(left, np.ndarray) else [left] * n
+        rv = right.tolist() if isinstance(right, np.ndarray) else [right] * n
+        out = np.fromiter(
+            (_compare_scalar(c.op, a, b) for a, b in zip(lv, rv)),
+            dtype=bool,
+            count=n,
+        )
+    if valid is not None:
+        out &= valid
+    return out
+
+
+def _compare_scalar(op: str, left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False
+    if op == "==":
+        return bool(left == right)
+    if op == "!=":
+        return bool(left != right)
+    if op == "<":
+        return bool(left < right)
+    if op == "<=":
+        return bool(left <= right)
+    if op == ">":
+        return bool(left > right)
+    return bool(left >= right)
+
+
+def evaluate_predicates_batch(
+    predicates: Sequence[Comparison],
+    columns: Mapping[str, np.ndarray],
+    n: int,
+    present: Optional[Mapping[str, np.ndarray]] = None,
+) -> np.ndarray:
+    """Rows (as a boolean mask) passing the conjunction of ``predicates``.
+
+    Bit-identical to evaluating :func:`evaluate_comparison` per row:
+    missing attributes and ``None`` values fail, comparisons follow
+    Python semantics (object columns fall back to per-row evaluation).
+    """
+    mask = np.ones(n, dtype=bool)
+    for c in predicates:
+        if not mask.any():
+            break
+        mask &= _comparison_mask(c, columns, present or {}, n)
+    return mask
+
+
 class Operator:
-    """Base class; subclasses implement :meth:`process`."""
+    """Base class; subclasses implement :meth:`process` (and, for batch
+    execution, :meth:`process_batch`)."""
 
     def process(self, t: StreamTuple) -> List[StreamTuple]:
         """Consume one tuple; return zero or more output tuples."""
+        raise NotImplementedError
+
+    def process_batch(self, batch: TupleBatch) -> Tuple[TupleBatch, np.ndarray]:
+        """Consume a batch; returns (output batch, input-row index).
+
+        The index array maps each output row back to the input row that
+        produced it (non-decreasing), so callers can group results per
+        source tuple exactly as the scalar path does.
+        """
         raise NotImplementedError
 
     #: number of tuples this operator inspected (CPU accounting)
@@ -66,11 +195,27 @@ class Select(Operator):
     def process(self, t: StreamTuple) -> List[StreamTuple]:
         """Pass ``t`` through iff every predicate holds."""
         self.inspected += 1
-        values = dict(t.values)
-        if all(evaluate_comparison(p, values) for p in self.predicates):
+        # evaluate against the tuple's own mapping -- no per-tuple copy
+        if all(evaluate_comparison(p, t.values) for p in self.predicates):
             out = t if not self.out_stream else StreamTuple(self.out_stream, t.values)
             return [out]
         return []
+
+    def process_batch(self, batch: TupleBatch) -> Tuple[TupleBatch, np.ndarray]:
+        """Mask-filter the batch; counters match the scalar path."""
+        self.inspected += batch.n
+        if not self.predicates:
+            kept = batch
+            rows = np.arange(batch.n)
+        else:
+            mask = evaluate_predicates_batch(
+                self.predicates, batch.columns, batch.n, batch.present
+            )
+            kept = batch.filter(mask)
+            rows = np.flatnonzero(mask)
+        if self.out_stream:
+            kept = kept.with_stream(self.out_stream)
+        return kept, rows
 
 
 class Project(Operator):
@@ -81,21 +226,30 @@ class Project(Operator):
         self.out_stream = out_stream
         self.inspected = 0
 
+    def _keeps(self, attr: str) -> bool:
+        return (
+            attr in self.attributes
+            or attr.endswith("timestamp")
+            or attr.endswith("timestamp_lag")
+        )
+
     def process(self, t: StreamTuple) -> List[StreamTuple]:
         """Project ``t`` onto the selected attributes (keeps timestamps)."""
         self.inspected += 1
         if self.attributes is None:
             values = dict(t.values)
         else:
-            values = {
-                k: v
-                for k, v in t.values.items()
-                if k in self.attributes
-                or k.endswith("timestamp")
-                or k.endswith("timestamp_lag")
-            }
+            values = {k: v for k, v in t.values.items() if self._keeps(k)}
         stream = self.out_stream or t.stream
         return [StreamTuple(stream, values)]
+
+    def process_batch(self, batch: TupleBatch) -> Tuple[TupleBatch, np.ndarray]:
+        """Column selection; rows map 1:1 to the input."""
+        self.inspected += batch.n
+        out = batch if self.attributes is None else batch.select_columns(self._keeps)
+        if self.out_stream:
+            out = out.with_stream(self.out_stream)
+        return out, np.arange(batch.n)
 
 
 class WindowJoin(Operator):
@@ -120,27 +274,48 @@ class WindowJoin(Operator):
         self.right_alias = right_alias
         self.left_window = SlidingWindow(left_window)
         self.right_window = SlidingWindow(right_window)
+        #: columnar window state, created lazily on first batch push; a
+        #: join instance runs scalar OR batch for its whole life
+        self.left_cols: Optional[ColumnWindow] = None
+        self.right_cols: Optional[ColumnWindow] = None
         self.predicates = list(predicates)
         self.out_stream = out_stream
         self.inspected = 0
 
     def state_size(self) -> int:
         """Tuples currently buffered across both join windows."""
-        return len(self.left_window) + len(self.right_window)
+        total = len(self.left_window) + len(self.right_window)
+        if self.left_cols is not None:
+            total += len(self.left_cols)
+        if self.right_cols is not None:
+            total += len(self.right_cols)
+        return total
+
+    def _sides(self, alias: str):
+        if alias == self.left_alias:
+            return "left", self.left_alias, self.right_alias
+        if alias == self.right_alias:
+            return "right", self.right_alias, self.left_alias
+        raise KeyError(f"unknown join input {alias!r}")
 
     def process_side(self, alias: str, t: StreamTuple) -> List[StreamTuple]:
         """Insert ``t`` on its side and join it against the other window."""
-        if alias == self.left_alias:
-            own, other = self.left_window, self.right_window
-            own_alias, other_alias = self.left_alias, self.right_alias
-        elif alias == self.right_alias:
-            own, other = self.right_window, self.left_window
-            own_alias, other_alias = self.right_alias, self.left_alias
-        else:
-            raise KeyError(f"unknown join input {alias!r}")
+        side, own_alias, other_alias = self._sides(alias)
+        if self.left_cols is not None or self.right_cols is not None:
+            raise TypeError(
+                "WindowJoin holds columnar state; scalar and batch pushes "
+                "cannot be mixed on one plan"
+            )
+        own, other = (
+            (self.left_window, self.right_window)
+            if side == "left"
+            else (self.right_window, self.left_window)
+        )
         own.insert(t)
         out: List[StreamTuple] = []
-        for partner in other.contents(now=t.timestamp):
+        # evict once, then walk the deque directly -- no per-probe copy
+        other.evict(t.timestamp)
+        for partner in other:
             self.inspected += 1
             values = t.qualify(own_alias)
             values.update(partner.qualify(other_alias))
@@ -153,6 +328,93 @@ class WindowJoin(Operator):
                 out.append(StreamTuple(self.out_stream, values))
         return out
 
+    def process_batch_side(
+        self, alias: str, batch: TupleBatch
+    ) -> Tuple[TupleBatch, np.ndarray]:
+        """Batch insert + probe; bit-identical to per-tuple process_side.
+
+        Returns the joined (predicate-filtered) output batch plus the
+        input-row index of each output row.  Candidate pairs are built
+        from one ``searchsorted`` over the partner window's timestamps
+        per batch (row windows probe the full extent, exactly like the
+        scalar path), and ``inspected`` counts every candidate pair, so
+        CPU accounting matches the scalar counters.
+        """
+        side, own_alias, other_alias = self._sides(alias)
+        if len(self.left_window) or len(self.right_window):
+            raise TypeError(
+                "WindowJoin holds scalar state; scalar and batch pushes "
+                "cannot be mixed on one plan"
+            )
+        if self.left_cols is None:
+            self.left_cols = ColumnWindow(self.left_window.spec)
+            self.right_cols = ColumnWindow(self.right_window.spec)
+        own, other = (
+            (self.left_cols, self.right_cols)
+            if side == "left"
+            else (self.right_cols, self.left_cols)
+        )
+        n = batch.n
+        if n == 0:
+            return TupleBatch.empty(self.out_stream), np.arange(0)
+        ts = batch.timestamps
+        own.append_batch(batch)
+
+        other_ts = other.timestamps
+        m = len(other_ts)
+        if other.spec.rows is not None:
+            starts = np.zeros(n, dtype=np.int64)
+        else:
+            starts = np.searchsorted(
+                other_ts, ts - other.spec.seconds, side="left"
+            )
+        counts = m - starts
+        total = int(counts.sum())
+        self.inspected += total
+        if other.spec.rows is None:
+            other_final_ts = float(ts[-1])
+        if total == 0:
+            if other.spec.rows is None:
+                other.evict(other_final_ts)
+            return TupleBatch.empty(self.out_stream), np.arange(0)
+
+        row_idx = np.repeat(np.arange(n), counts)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        partner_idx = (
+            np.arange(total) - offsets[row_idx] + starts[row_idx]
+        )
+
+        cols: Dict[str, np.ndarray] = {}
+        present: Dict[str, np.ndarray] = {}
+        for k, col in batch.columns.items():
+            cols[f"{own_alias}.{k}"] = col[row_idx]
+            mask = batch.present.get(k)
+            if mask is not None:
+                present[f"{own_alias}.{k}"] = mask[row_idx]
+        for k in other.attributes():
+            cols[f"{other_alias}.{k}"] = other.column(k)[partner_idx]
+            mask = other.presence(k)
+            if mask is not None:
+                present[f"{other_alias}.{k}"] = mask[partner_idx]
+        pair_ts = ts[row_idx]
+        cols["timestamp"] = pair_ts
+        cols[f"{own_alias}.timestamp_lag"] = np.zeros(total, dtype=np.float64)
+        cols[f"{other_alias}.timestamp_lag"] = pair_ts - other_ts[partner_idx]
+
+        keep = evaluate_predicates_batch(
+            self.predicates, cols, total, present
+        )
+        out = TupleBatch(self.out_stream, cols, total, present or None).filter(
+            keep
+        )
+        if other.spec.rows is None:
+            other.evict(other_final_ts)
+        return out, row_idx[keep]
+
     def process(self, t: StreamTuple) -> List[StreamTuple]:
         """Unsupported: a join needs to know which side ``t`` arrives on."""
         raise TypeError("WindowJoin requires process_side(alias, tuple)")
+
+    def process_batch(self, batch: TupleBatch) -> Tuple[TupleBatch, np.ndarray]:
+        """Unsupported: a join needs to know which side a batch arrives on."""
+        raise TypeError("WindowJoin requires process_batch_side(alias, batch)")

@@ -8,11 +8,13 @@ returns result tuples named after the query's result stream.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..query.ast import AttrRef, Query
 from .operators import Project, Select, WindowJoin
-from .tuples import StreamTuple
+from .tuples import StreamTuple, TupleBatch
 
 __all__ = ["QueryPlan", "compile_query"]
 
@@ -57,6 +59,44 @@ class QueryPlan:
                 out.extend(self.project.process(qualified))
         self.results_emitted += len(out)
         return out
+
+    def push_batch(
+        self, alias: str, batch: TupleBatch
+    ) -> Tuple[TupleBatch, np.ndarray]:
+        """Feed a batch of input tuples on ``alias``; columnar fast path.
+
+        Returns the result batch plus an index array mapping each result
+        row to the input row that produced it (non-decreasing).  Output
+        rows, their order, and every operator's ``inspected`` counter are
+        bit-identical to pushing the rows one at a time through
+        :meth:`push`.
+        """
+        if alias not in self.selects:
+            raise KeyError(f"query {self.query.name!r} has no input {alias!r}")
+        survivors, rows = self.selects[alias].process_batch(batch)
+        if self.join is not None:
+            joined, joined_rows = self.join.process_batch_side(alias, survivors)
+            out, _ = self.project.process_batch(joined)
+            row_index = rows[joined_rows]
+        else:
+            qualified_cols = {
+                f"{alias}.{k}": col for k, col in survivors.columns.items()
+            }
+            qualified_present = {
+                f"{alias}.{k}": m for k, m in survivors.present.items()
+            }
+            qualified_cols["timestamp"] = survivors.timestamps if survivors.n else \
+                np.empty(0, dtype=np.float64)
+            qualified = TupleBatch(
+                self.result_stream,
+                qualified_cols,
+                survivors.n,
+                qualified_present or None,
+            )
+            out, _ = self.project.process_batch(qualified)
+            row_index = rows
+        self.results_emitted += out.n
+        return out, row_index
 
     def cpu_cost(self) -> int:
         """Tuples inspected across all operators (load estimation input)."""
@@ -111,14 +151,27 @@ def compile_query(query: Query, result_stream: Optional[str] = None) -> QueryPla
 
 def _bare_select(predicates, alias: str) -> Select:
     """A Select evaluating ``Alias.attr OP const`` on unqualified tuples."""
-    from .operators import evaluate_comparison
+    from .operators import evaluate_comparison, evaluate_predicates_batch
 
     class _AliasedSelect(Select):
         def process(self, t: StreamTuple):
             self.inspected += 1
+            if not self.predicates:
+                return [t]
             values = {f"{alias}.{k}": v for k, v in t.values.items()}
             if all(evaluate_comparison(p, values) for p in self.predicates):
                 return [t]
             return []
+
+        def process_batch(self, batch: TupleBatch):
+            self.inspected += batch.n
+            if not self.predicates:
+                return batch, np.arange(batch.n)
+            cols = {f"{alias}.{k}": c for k, c in batch.columns.items()}
+            present = {f"{alias}.{k}": m for k, m in batch.present.items()}
+            mask = evaluate_predicates_batch(
+                self.predicates, cols, batch.n, present
+            )
+            return batch.filter(mask), np.flatnonzero(mask)
 
     return _AliasedSelect(predicates)

@@ -1,11 +1,26 @@
-"""Stream tuples and schemas for the continuous-query engine."""
+"""Stream tuples, schemas, and columnar tuple batches.
+
+Two representations of stream data coexist:
+
+* :class:`StreamTuple` -- one row as a ``dict`` (the scalar reference
+  path, unchanged semantics since the seed);
+* :class:`TupleBatch` -- many rows of one stream as numpy column arrays
+  (the batch fast path).  Converters are bit-faithful: a column whose
+  values are all Python ``int``/``float``/``bool`` round-trips through
+  the matching numpy dtype, anything else (strings, mixed types) through
+  an ``object`` array holding the original objects.  Rows missing an
+  attribute are tracked in per-column presence masks so
+  :meth:`TupleBatch.to_tuples` reproduces the exact per-row mappings.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Schema", "StreamTuple"]
+import numpy as np
+
+__all__ = ["Schema", "StreamTuple", "TupleBatch"]
 
 
 @dataclass(frozen=True)
@@ -53,3 +68,213 @@ class StreamTuple:
     def qualify(self, alias: str) -> Dict[str, Any]:
         """Values keyed as ``alias.attr`` (for join outputs)."""
         return {f"{alias}.{k}": v for k, v in self.values.items()}
+
+
+#: placeholder distinguishing "attribute absent" from a stored ``None``
+_MISSING = object()
+
+
+def _column_array(values: List[Any]) -> np.ndarray:
+    """A numpy column that round-trips the given Python values exactly.
+
+    Homogeneous ``int``/``float``/``bool`` columns use the native dtype
+    (``tolist`` restores the original Python scalars bit for bit);
+    everything else falls back to an object array holding the values
+    themselves.  ``bool`` is checked by exact type: it subclasses ``int``
+    and must not be coerced into an int column.
+    """
+    kinds = {type(v) for v in values}
+    try:
+        if kinds == {int}:
+            return np.array(values, dtype=np.int64)
+        if kinds == {float}:
+            return np.array(values, dtype=np.float64)
+        if kinds == {bool}:
+            return np.array(values, dtype=np.bool_)
+    except OverflowError:
+        pass  # e.g. ints beyond int64: keep the objects
+    col = np.empty(len(values), dtype=object)
+    col[:] = values
+    return col
+
+
+class TupleBatch:
+    """``n`` rows of one stream, stored as per-attribute column arrays.
+
+    ``columns`` maps attribute name to an array of length ``n``;
+    ``present`` optionally maps a column name to a boolean mask marking
+    rows that actually carry the attribute (columns absent from
+    ``present`` are fully populated -- the fast path).  Batches are
+    treated as immutable: operators build new batches sharing column
+    arrays where possible (projection is column selection, filtering is
+    one fancy-index per column).
+    """
+
+    __slots__ = ("stream", "columns", "present", "n")
+
+    def __init__(
+        self,
+        stream: str,
+        columns: Dict[str, np.ndarray],
+        n: int,
+        present: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        self.stream = stream
+        self.columns = columns
+        self.present = present or {}
+        self.n = n
+
+    # ------------------------------------------------------------------
+    # converters
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tuples(
+        cls, stream: str, tuples: Sequence[StreamTuple]
+    ) -> "TupleBatch":
+        """Columnarise tuples (all of ``stream``); order is preserved."""
+        n = len(tuples)
+        cols: Dict[str, List[Any]] = {}
+        ragged = set()  # columns some row does not carry
+        for i, t in enumerate(tuples):
+            if t.stream != stream:
+                raise ValueError(
+                    f"tuple of stream {t.stream!r} in a {stream!r} batch"
+                )
+            for k, v in t.values.items():
+                col = cols.get(k)
+                if col is None:
+                    cols[k] = col = [_MISSING] * i
+                    if i:
+                        ragged.add(k)
+                elif len(col) < i:
+                    col.extend([_MISSING] * (i - len(col)))
+                    ragged.add(k)
+                col.append(v)
+        masks: Dict[str, np.ndarray] = {}
+        arrays: Dict[str, np.ndarray] = {}
+        for k, col in cols.items():
+            if len(col) < n:
+                col.extend([_MISSING] * (n - len(col)))
+                ragged.add(k)
+            if k in ragged:
+                masks[k] = np.array(
+                    [v is not _MISSING for v in col], dtype=bool
+                )
+                arr = np.empty(n, dtype=object)
+                arr[:] = [None if v is _MISSING else v for v in col]
+                arrays[k] = arr
+            else:
+                arrays[k] = _column_array(col)
+        return cls(stream, arrays, n, present=masks or None)
+
+    def to_tuples(self) -> List[StreamTuple]:
+        """The rows as :class:`StreamTuple`\\ s with original value types."""
+        names = list(self.columns)
+        if not names:
+            return [StreamTuple(self.stream, {}) for _ in range(self.n)]
+        cols = [self.columns[k].tolist() for k in names]
+        stream = self.stream
+        if not self.present:
+            return [
+                StreamTuple(stream, dict(zip(names, row)))
+                for row in zip(*cols)
+            ]
+        masks = [
+            None if (m := self.present.get(k)) is None else m.tolist()
+            for k in names
+        ]
+        out: List[StreamTuple] = []
+        for i in range(self.n):
+            values = {}
+            for k, col, mask in zip(names, cols, masks):
+                if mask is None or mask[i]:
+                    values[k] = col[i]
+            out.append(StreamTuple(stream, values))
+        return out
+
+    # ------------------------------------------------------------------
+    # cheap structural ops
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> Optional[np.ndarray]:
+        return self.columns.get(name)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """The ``timestamp`` column as float64 (every stream carries it)."""
+        return np.asarray(self.columns["timestamp"], dtype=np.float64)
+
+    def with_stream(self, stream: str) -> "TupleBatch":
+        """Same rows under another stream name (no copying)."""
+        if stream == self.stream:
+            return self
+        return TupleBatch(stream, self.columns, self.n, self.present or None)
+
+    def take(self, idx: np.ndarray) -> "TupleBatch":
+        """Rows at ``idx`` (an integer index array), in that order."""
+        cols = {k: col[idx] for k, col in self.columns.items()}
+        present = {k: m[idx] for k, m in self.present.items()}
+        return TupleBatch(self.stream, cols, int(len(idx)), present or None)
+
+    def filter(self, mask: np.ndarray) -> "TupleBatch":
+        """Rows where the boolean ``mask`` holds, preserving order."""
+        if mask.all():
+            return self
+        cols = {k: col[mask] for k, col in self.columns.items()}
+        present = {k: m[mask] for k, m in self.present.items()}
+        return TupleBatch(
+            self.stream, cols, int(np.count_nonzero(mask)), present or None
+        )
+
+    def select_columns(self, keep) -> "TupleBatch":
+        """Batch with only the columns accepted by predicate ``keep``."""
+        cols = {k: c for k, c in self.columns.items() if keep(k)}
+        present = {k: m for k, m in self.present.items() if k in cols}
+        return TupleBatch(self.stream, cols, self.n, present or None)
+
+    @classmethod
+    def empty(cls, stream: str) -> "TupleBatch":
+        return cls(stream, {}, 0)
+
+    @classmethod
+    def concat(cls, stream: str, batches: Iterable["TupleBatch"]) -> "TupleBatch":
+        """Concatenate batches row-wise (attribute union, presence kept).
+
+        Batches sharing one column layout (same attributes and dtypes, no
+        presence masks) concatenate array-wise; mismatched layouts fall
+        back to the tuple round trip, which handles attribute unions and
+        dtype promotion by construction.
+        """
+        batches = [b for b in batches if b.n]
+        if not batches:
+            return cls.empty(stream)
+        if len(batches) == 1:
+            return batches[0].with_stream(stream)
+        first = batches[0]
+        aligned = not first.present and all(
+            not b.present
+            and list(b.columns) == list(first.columns)
+            and all(
+                b.columns[k].dtype == first.columns[k].dtype
+                for k in first.columns
+            )
+            for b in batches[1:]
+        )
+        if aligned:
+            cols = {
+                k: np.concatenate([b.columns[k] for b in batches])
+                for k in first.columns
+            }
+            return cls(stream, cols, sum(b.n for b in batches))
+        return cls.from_tuples(
+            stream,
+            [t for b in batches for t in b.with_stream(stream).to_tuples()],
+        )
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TupleBatch({self.stream!r}, n={self.n}, "
+            f"columns={sorted(self.columns)})"
+        )

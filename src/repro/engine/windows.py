@@ -4,17 +4,28 @@ Time windows keep tuples with ``timestamp >= now - seconds`` (``[Now]`` is
 ``seconds = 0``: only tuples with the current timestamp).  Row windows
 keep the last ``rows`` tuples.  Eviction is incremental: windows are
 deques with monotone timestamps.
+
+Two implementations share those semantics:
+
+* :class:`SlidingWindow` -- a deque of :class:`StreamTuple`\\ s, the
+  scalar reference path;
+* :class:`ColumnWindow` -- the same extent as numpy column arrays with a
+  start offset (vectorised time/row eviction, amortised append), backing
+  the batch join path.  Its state after inserting a batch is element-wise
+  identical to a :class:`SlidingWindow` fed the same rows one at a time.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
 
 from ..query.ast import Window
-from .tuples import StreamTuple
+from .tuples import StreamTuple, TupleBatch
 
-__all__ = ["SlidingWindow"]
+__all__ = ["SlidingWindow", "ColumnWindow"]
 
 
 class SlidingWindow:
@@ -53,5 +64,174 @@ class SlidingWindow:
             self.evict(now)
         return list(self._buf)
 
+    def __iter__(self) -> Iterator[StreamTuple]:
+        """Iterate the extent oldest-first without copying the deque.
+
+        Callers must not insert/evict mid-iteration; the join probe loop
+        (one :meth:`evict`, then a read-only walk) satisfies that.
+        """
+        return iter(self._buf)
+
     def __len__(self) -> int:
         return len(self._buf)
+
+
+class ColumnWindow:
+    """A sliding-window extent stored as columns (the batch join state).
+
+    Rows live in numpy arrays of capacity >= the live extent; ``_start``
+    and ``_end`` delimit the live region, so eviction is a pointer bump
+    and appending amortises to O(1) per row via capacity doubling.
+    Columns follow the union of attributes seen so far; rows missing an
+    attribute are tracked in per-column presence masks (object columns),
+    mirroring :class:`~repro.engine.tuples.TupleBatch`.
+    """
+
+    def __init__(self, spec: Window):
+        self.spec = spec
+        self._cols: Dict[str, np.ndarray] = {}
+        self._present: Dict[str, np.ndarray] = {}
+        self._ts = np.empty(0, dtype=np.float64)
+        self._start = 0
+        self._end = 0
+        self._last_ts: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._end - self._start
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Timestamps of the live extent, oldest first (a view)."""
+        return self._ts[self._start:self._end]
+
+    def column(self, name: str) -> Optional[np.ndarray]:
+        """Live extent of one column (a view), or None if never seen."""
+        col = self._cols.get(name)
+        return None if col is None else col[self._start:self._end]
+
+    def presence(self, name: str) -> Optional[np.ndarray]:
+        """Live presence mask of a ragged column (None = fully present)."""
+        mask = self._present.get(name)
+        return None if mask is None else mask[self._start:self._end]
+
+    def attributes(self) -> List[str]:
+        return list(self._cols)
+
+    # ------------------------------------------------------------------
+    def _grow(self, extra: int) -> None:
+        """Compact the dead prefix / grow so ``extra`` rows fit at the tail."""
+        if self._end + extra <= len(self._ts):
+            return
+        live = self._end - self._start
+        new_cap = max(16, 2 * (live + extra))
+        sl = slice(self._start, self._end)
+
+        def moved(arr: np.ndarray) -> np.ndarray:
+            out = np.empty(new_cap, dtype=arr.dtype)
+            out[:live] = arr[sl]
+            return out
+
+        self._ts = moved(self._ts)
+        self._cols = {k: moved(c) for k, c in self._cols.items()}
+        self._present = {k: moved(m) for k, m in self._present.items()}
+        self._start, self._end = 0, live
+
+    def _as_object(self, name: str) -> None:
+        """Demote a typed column to object dtype (attribute went ragged)."""
+        col = self._cols[name]
+        out = np.empty(len(col), dtype=object)
+        out[self._start:self._end] = col[self._start:self._end].tolist()
+        self._cols[name] = out
+
+    def append_batch(self, batch: TupleBatch) -> None:
+        """Insert ``batch``'s rows (non-decreasing timestamps), evicting.
+
+        Mirrors ``SlidingWindow.insert`` row by row: row windows trim to
+        the last ``rows`` entries, time windows evict up to the batch's
+        final timestamp.
+        """
+        n = batch.n
+        if n == 0:
+            return
+        ts = batch.timestamps
+        if n > 1 and bool(np.any(np.diff(ts) < 0)):
+            bad = int(np.argmax(np.diff(ts) < 0))
+            raise ValueError(
+                f"out-of-order tuple: {ts[bad + 1]} after {ts[bad]}"
+            )
+        if self._last_ts is not None and ts[0] < self._last_ts:
+            raise ValueError(
+                f"out-of-order tuple: {ts[0]} after {self._last_ts}"
+            )
+        self._last_ts = float(ts[-1])
+        self._grow(n)
+        live = self._end - self._start
+        sl = slice(self._end, self._end + n)
+        self._ts[sl] = ts
+        for k, incoming in batch.columns.items():
+            col = self._cols.get(k)
+            if col is None:
+                if live:
+                    # new attribute: back-fill absent for the existing rows
+                    col = np.empty(len(self._ts), dtype=object)
+                    col[self._start:self._end] = None
+                    self._present[k] = np.zeros(len(self._ts), dtype=bool)
+                else:
+                    col = np.empty(len(self._ts), dtype=incoming.dtype)
+                self._cols[k] = col
+            elif col.dtype != incoming.dtype and col.dtype != object:
+                self._as_object(k)
+                col = self._cols[k]
+            if col.dtype == object and incoming.dtype != object:
+                col[sl] = incoming.tolist()
+            else:
+                col[sl] = incoming
+            in_mask = batch.present.get(k)
+            mask = self._present.get(k)
+            if mask is None and in_mask is not None:
+                self._present[k] = mask = np.ones(len(self._ts), dtype=bool)
+            if mask is not None:
+                mask[sl] = True if in_mask is None else in_mask
+        for k in self._cols:
+            if k not in batch.columns:
+                # attribute absent from the whole batch
+                if self._cols[k].dtype != object:
+                    self._as_object(k)
+                mask = self._present.get(k)
+                if mask is None:
+                    self._present[k] = mask = np.ones(
+                        len(self._ts), dtype=bool
+                    )
+                self._cols[k][sl] = None
+                mask[sl] = False
+        self._end += n
+        if self.spec.rows is not None:
+            excess = (self._end - self._start) - self.spec.rows
+            if excess > 0:
+                self._start += excess
+        else:
+            self.evict(float(ts[-1]))
+
+    def evict(self, now: float) -> None:
+        """Drop rows that left a time window as of ``now``."""
+        if self.spec.rows is not None:
+            return
+        horizon = now - self.spec.seconds
+        self._start += int(
+            np.searchsorted(
+                self._ts[self._start:self._end], horizon, side="left"
+            )
+        )
+
+    def to_tuples(self, stream: str) -> List[StreamTuple]:
+        """The live extent as scalar tuples (state handoff, debugging)."""
+        cols = {
+            k: self._cols[k][self._start:self._end] for k in self._cols
+        }
+        present = {
+            k: m[self._start:self._end] for k, m in self._present.items()
+        }
+        return TupleBatch(
+            stream, cols, self._end - self._start, present or None
+        ).to_tuples()

@@ -163,6 +163,28 @@ class PubSubNetwork:
                 queue.append((nbr, node, forwarded))
         return deliveries
 
+    def publish_batch(
+        self, source: int, stream: str, rows: int
+    ) -> List[Tuple[int, Event, Subscription]]:
+        """Route a coalesced batch of ``rows`` same-stream events at once.
+
+        One representative event of size ``rows`` crosses the overlay, so
+        each dissemination hop probes the forwarding index (or reference
+        scan) once per *batch* instead of once per tuple, while per-link
+        traffic is still accounted per row (``size = rows``).
+
+        The representative carries no per-row attributes, so matching is
+        decided by the stream alone: correct whenever the installed
+        subscriptions for ``stream`` are attribute-insensitive (true for
+        the simulator's per-query stream subscriptions -- content filters
+        there live inside the engines, not the network).  Callers mixing
+        batch publishing with attribute-filtered subscriptions would
+        diverge from per-tuple publishing; the sim parity suite pins the
+        supported behaviour.
+        """
+        event = Event(stream=stream, attributes={}, size=float(rows))
+        return self.publish(source, event)
+
     def publish_rate(self, source: int, event: Event, rate: float) -> int:
         """Account traffic for a *stream* of events shaped like ``event``.
 

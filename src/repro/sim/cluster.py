@@ -28,10 +28,28 @@ Determinism: all randomness flows from one ``numpy`` seed through
 :class:`numpy.random.SeedSequence` spawns, and all timing through the
 heap-based :class:`~repro.sim.events.EventLoop`, so two runs of the same
 scenario produce bit-identical traces.
+
+Data planes
+-----------
+With ``ScenarioParams.use_batches`` (the default) the tuple path runs
+columnar: same-substream tuples emitted within one mean source
+inter-arrival coalesce into a single
+:meth:`~repro.pubsub.network.PubSubNetwork.publish_batch` (one
+forwarding probe per hop per batch, link bytes accounted per row), and
+released rows reach the engines as
+:class:`~repro.engine.tuples.TupleBatch`\\ es through one drain event
+per batch instead of one release event per tuple.  Emission events stay
+per-tuple (the rng draw order defines the workload), every
+control-plane event (churn, migration rounds, hot spots, sampling)
+flushes the coalescing buffers first, and per-query deliveries stay in
+timestamp order -- so traces, results, link traffic and CPU counters
+are bit-identical to ``use_batches=False``, the per-tuple reference
+plane (``tests/test_batch_parity.py``).
 """
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from dataclasses import dataclass, field
 from functools import partial
@@ -42,7 +60,7 @@ import numpy as np
 from ..core.cosmos import Cosmos, CosmosConfig
 from ..engine.executor import Engine
 from ..engine.plans import QueryPlan
-from ..engine.tuples import StreamTuple
+from ..engine.tuples import StreamTuple, TupleBatch
 from ..pubsub.messages import Event
 from ..pubsub.network import PubSubNetwork
 from ..pubsub.subscriptions import Subscription
@@ -108,6 +126,12 @@ class ScenarioParams:
     #: route dissemination through the counting forwarding index (False =
     #: the reference scan path; traces must be identical either way)
     use_index: bool = True
+    #: coalesce same-substream tuples emitted within one source
+    #: inter-arrival window into a single batch publish + batched engine
+    #: deliveries (False = the per-tuple scalar data plane; full-run
+    #: traces, results, link traffic and cpu_costs must be identical
+    #: either way)
+    use_batches: bool = True
 
 
 @dataclass
@@ -122,14 +146,36 @@ class _QueryState:
     slack: float
     #: release time assigned to the latest delivered tuple (monotone)
     last_release: float = 0.0
+    #: batch plane: ``last_release`` as of the last control-plane event.
+    #: Within a control-free window the scalar release chain collapses to
+    #: ``max(ts + slack, release_floor)`` per row (timestamps are merged
+    #: in order, so earlier chain links never dominate), which makes the
+    #: release of a row independent of *publish* order -- coalesced
+    #: batches of different substreams may publish out of timestamp order
+    last_release_floor: float = 0.0
     #: earliest time deliveries may resume after a migration handoff
     ready: float = 0.0
     pending: Deque[StreamTuple] = field(default_factory=deque)
+    #: batch-mode pending deliveries: (timestamp, emit seq, tuple,
+    #: release) kept sorted by (timestamp, seq) -- the order the scalar
+    #: path delivers in.  Release times are non-decreasing along it.
+    pending_rel: List[Tuple[float, int, StreamTuple, float]] = field(
+        default_factory=list
+    )
+    #: latest scheduled (not yet fired) drain event time, for dedup: a
+    #: pending drain at T delivers every row with release <= T, so no
+    #: extra event is needed for rows releasing at or before T
+    drain_at: float = float("-inf")
     alive: bool = True
     detached: bool = False
     cpu_at_sample: int = 0
     cpu_at_adapt: int = 0
     results: List[StreamTuple] = field(default_factory=list)
+    #: per-query latency accumulators for the current sample interval;
+    #: merged in query-id order at each sample so the scalar and batch
+    #: paths sum floats in one canonical order
+    lat_sum: float = 0.0
+    lat_max: float = 0.0
 
     @property
     def name(self) -> str:
@@ -149,6 +195,10 @@ class SimReport:
     results: Optional[Dict[int, List[Dict]]] = None
     #: ordered action log (tuple / add / remove), only when ``record=True``
     actions: Optional[List[Tuple[str, object]]] = None
+    #: final per-link data traffic, only when ``record=True``
+    link_bytes: Optional[Dict[Tuple[int, int], float]] = None
+    #: final per-query engine CPU counters, only when ``record=True``
+    cpu_costs: Optional[Dict[int, int]] = None
 
 
 class SimCluster:
@@ -197,7 +247,8 @@ class SimCluster:
                 int(space.source_of[sid]), Advertisement(stream=stream_name(sid))
             )
         self.engines: Dict[int, Engine] = {
-            p: Engine(node=p) for p in self.processors
+            p: Engine(node=p, use_batches=params.use_batches)
+            for p in self.processors
         }
         self.queries: Dict[int, _QueryState] = {}
         self._by_sub: Dict[int, int] = {}
@@ -210,10 +261,17 @@ class SimCluster:
         self.results_total = 0
         self.migrations = 0
         self._interval_results = 0
-        self._interval_lat_sum = 0.0
-        self._interval_lat_max = 0.0
         self._last_sample_t = 0.0
         self.actions: Optional[List[Tuple[str, object]]] = [] if record else None
+
+        #: batch data plane: per-substream (emit seq, tuple) rows awaiting
+        #: the coalesced publish, plus stats on coalescing effectiveness
+        self._batching = params.use_batches
+        self._src_pending: List[List[Tuple[int, StreamTuple]]] = [
+            [] for _ in range(len(space))
+        ]
+        self._emit_seq = 0
+        self.batch_publishes = 0
 
     # ------------------------------------------------------------------
     # latency helpers
@@ -241,6 +299,9 @@ class SimCluster:
     # ------------------------------------------------------------------
     def add_query(self, simq: SimQuery, host: int) -> _QueryState:
         """Install a query on its host engine and subscribe its inputs."""
+        # the new subscription changes routing tables: coalesced batches
+        # emitted under the old tables must be published first
+        self._flush_batches()
         engine = self.engines[host]
         plan = engine.add_query(simq.ast, result_stream=f"out_{simq.name}")
         sub = Subscription.to_streams(simq.streams)
@@ -252,6 +313,7 @@ class SimCluster:
             plan=plan,
             slack=self._slack(simq, host),
             last_release=self.loop.now,
+            last_release_floor=self.loop.now,
         )
         self.queries[simq.query_id] = qs
         self._by_sub[sub.sub_id] = simq.query_id
@@ -270,6 +332,7 @@ class SimCluster:
         qs = self.queries[query_id]
         if not qs.alive:
             return
+        self._flush_batches()
         qs.alive = False
         if self.actions is not None:
             self.actions.append(("remove", qs.simq))
@@ -291,6 +354,13 @@ class SimCluster:
         # which processes every tuple emitted before the departure
         while qs.pending:
             self._deliver_now(qs, qs.pending.popleft())
+        if qs.pending_rel:
+            # batch mode: rows still pending here were paused past their
+            # release (migration handoff) -- the scalar plane's detach
+            # loop above delivers exactly those at loop.now as well
+            rows = [(t, self.loop.now) for _, _, t, _ in qs.pending_rel]
+            qs.pending_rel.clear()
+            self._deliver_rows(qs, rows)
         qs.detached = True
         self.engines[qs.host].remove_query(qs.name)
 
@@ -332,6 +402,10 @@ class SimCluster:
         ) / 1000.0
         qs.ready = self.loop.now + handoff_s
         qs.last_release = max(qs.last_release, qs.ready)
+        # a migration is a control-plane event: every already-emitted row
+        # has been published (the adapt round flushed), so the scalar
+        # release chain restarts from the bumped value
+        qs.last_release_floor = qs.last_release
         self.migrations += 1
         return state_tuples
 
@@ -346,6 +420,13 @@ class SimCluster:
         both revives substreams whose chain had run past the horizon and
         applies the new rate immediately; the superseded chain sees the
         stale generation and dies here.
+
+        On the batch data plane the tuple is not published here: it joins
+        the substream's coalescing buffer, and the buffer's first row
+        schedules the batch publish one mean inter-arrival later
+        (:meth:`_flush_substream`).  Drawing values/arrivals stays in
+        this per-tuple event so the rng consumption order -- and hence
+        every generated tuple -- is identical on both planes.
         """
         if gen != self._emit_gen[sid]:
             return
@@ -359,23 +440,104 @@ class SimCluster:
         )
         if self.actions is not None:
             self.actions.append(("tuple", tup))
-        source = int(self.space.source_of[sid])
-        event = Event(stream=tup.stream, attributes=tup.values, size=1.0)
-        for _node, _ev, sub in self.network.publish(source, event):
-            query_id = self._by_sub.get(sub.sub_id)
-            if query_id is None:
-                continue
-            qs = self.queries[query_id]
-            release = max(t + qs.slack, qs.last_release)
-            qs.last_release = release
-            qs.pending.append(tup)
-            self.loop.schedule(release, partial(self._release_one, query_id))
-        self.tuples_emitted += 1
         rate = float(self.space.rates[sid])
+        self._emit_seq += 1
+        if self._batching:
+            pending = self._src_pending[sid]
+            pending.append((self._emit_seq, tup))
+            if len(pending) == 1:
+                # coalescing window: one mean source inter-arrival (a
+                # dead substream's lone row flushes immediately)
+                window = 1.0 / rate if rate > 1e-12 else 0.0
+                self.loop.schedule(
+                    t + window, partial(self._flush_substream, sid)
+                )
+        else:
+            self._publish_rows(sid, [(self._emit_seq, tup)])
+        self.tuples_emitted += 1
         if rate > 1e-12:
             nxt = t + float(self.arrival_rng.exponential(1.0 / rate))
             if nxt <= self.duration:
                 self.loop.schedule(nxt, partial(self._emit, sid, gen))
+
+    def _publish_rows(
+        self, sid: int, rows: List[Tuple[int, StreamTuple]]
+    ) -> None:
+        """Publish (seq, tuple) rows of one substream; queue deliveries.
+
+        The scalar plane calls this once per tuple (one content-based
+        probe each); the batch plane once per coalesced buffer (one probe
+        for the whole batch, link traffic still accounted per row).
+        Release times follow the scalar formula ``max(ts + slack,
+        last_release)``; along a query's timestamp order that equals
+        ``max(ts + slack, last_release at publish)`` for every row, so
+        computing them batch-at-a-time yields the scalar values.
+        """
+        source = int(self.space.source_of[sid])
+        if self._batching:
+            deliveries = self.network.publish_batch(
+                source, stream_name(sid), len(rows)
+            )
+            self.batch_publishes += 1
+        else:
+            tup0 = rows[0][1]
+            event = Event(stream=tup0.stream, attributes=tup0.values, size=1.0)
+            deliveries = self.network.publish(source, event)
+        for _node, _ev, sub in deliveries:
+            query_id = self._by_sub.get(sub.sub_id)
+            if query_id is None:
+                continue
+            qs = self.queries[query_id]
+            if not self._batching:
+                tup = rows[0][1]
+                release = max(tup.timestamp + qs.slack, qs.last_release)
+                qs.last_release = release
+                qs.pending.append(tup)
+                self.loop.schedule(
+                    release, partial(self._release_one, query_id)
+                )
+                continue
+            release_last = 0.0
+            for seq, tup in rows:
+                release = max(tup.timestamp + qs.slack, qs.last_release_floor)
+                qs.last_release = max(qs.last_release, release)
+                # sorted insert by (timestamp, emission seq): rows of
+                # *other* substreams may already sit in pending_rel with
+                # later timestamps (their batch flushed earlier)
+                bisect.insort(qs.pending_rel, (tup.timestamp, seq, tup, release))
+                release_last = release
+            when = max(release_last, self.loop.now)
+            if when > qs.drain_at:
+                qs.drain_at = when
+                self.loop.schedule(when, partial(self._drain_query, query_id))
+
+    def _flush_substream(self, sid: int) -> None:
+        """Publish a substream's coalesced rows as one batch."""
+        rows = self._src_pending[sid]
+        if not rows:
+            return
+        self._src_pending[sid] = []
+        self._publish_rows(sid, rows)
+
+    def _flush_batches(self) -> None:
+        """Publish every coalesced buffer now (batch plane only).
+
+        Called before any control-plane change (subscription add/remove,
+        migration round, rate shift, sampling): the buffered rows were
+        emitted under the *current* routing tables and host placements,
+        and publishing them early is always safe -- matching, releases
+        and accounting depend only on state that has not changed since
+        their emission.
+        """
+        if not self._batching:
+            return
+        for sid in range(len(self._src_pending)):
+            if self._src_pending[sid]:
+                self._flush_substream(sid)
+        for query_id in sorted(self.queries):
+            qs = self.queries[query_id]
+            if not qs.detached and qs.pending_rel:
+                self._drain_ready(qs)
 
     def _release_one(self, query_id: int) -> None:
         """Deliver the oldest pending tuple of a query to its plan.
@@ -392,21 +554,113 @@ class SimCluster:
             return
         self._deliver_now(qs, qs.pending.popleft())
 
+    def _drain_query(self, query_id: int) -> None:
+        """Deliver a query's released batch rows (batch plane)."""
+        qs = self.queries.get(query_id)
+        if qs is None or qs.detached:
+            return
+        if self.loop.now >= qs.drain_at:
+            qs.drain_at = float("-inf")
+        if not qs.pending_rel:
+            return
+        if self.loop.now < qs.ready:
+            if qs.ready > qs.drain_at:
+                qs.drain_at = qs.ready
+                self.loop.schedule(
+                    qs.ready, partial(self._drain_query, query_id)
+                )
+            return
+        # a two-input query must consume its inputs in timestamp order:
+        # rows of its *other* substream emitted before now may still sit
+        # in a coalescing buffer (their flush is later) -- publish them
+        # first so pending_rel holds every row that can precede the
+        # released prefix (flushing early is always safe)
+        for sid in qs.simq.substreams:
+            if self._src_pending[sid]:
+                self._flush_substream(sid)
+        self._drain_ready(qs)
+
+    def _drain_ready(self, qs: _QueryState) -> None:
+        """Deliver the prefix of ``pending_rel`` whose release has come.
+
+        Each row is accounted at ``max(release, ready)`` -- exactly when
+        the scalar path's per-tuple release event would have delivered it
+        (its event fires at ``release``, or is pushed to ``ready`` by a
+        migration handoff pause).
+        """
+        now = self.loop.now
+        if now < qs.ready:
+            return
+        pend = qs.pending_rel
+        k = 0
+        while k < len(pend) and pend[k][3] <= now:
+            k += 1
+        if not k:
+            return
+        rows = [(tup, max(release, qs.ready)) for _, _, tup, release in pend[:k]]
+        del pend[:k]
+        self._deliver_rows(qs, rows)
+
+    def _deliver_rows(
+        self, qs: _QueryState, rows: List[Tuple[StreamTuple, float]]
+    ) -> None:
+        """Deliver (tuple, delivery-time) rows as same-stream batches.
+
+        For join-less plans (no window state, so scalar and batch pushes
+        are freely interchangeable), single-row runs skip the columnar
+        round trip: ``push_query`` is the same computation
+        (bit-identical results and counters) without the batch assembly
+        overhead, which matters when low traffic or frequent control
+        events shrink batches to one row.  Join plans always go columnar
+        -- their ``ColumnWindow`` state must see every row.
+        """
+        engine = self.engines[qs.host]
+        scalar_ok = qs.plan.join is None
+        i = 0
+        while i < len(rows):
+            j = i
+            stream = rows[i][0].stream
+            while j < len(rows) and rows[j][0].stream == stream:
+                j += 1
+            if scalar_ok and j - i == 1:
+                tup, at = rows[i]
+                self._account_results(
+                    qs, tup, engine.push_query(qs.name, tup), at
+                )
+            else:
+                batch = TupleBatch.from_tuples(
+                    stream, [tup for tup, _ in rows[i:j]]
+                )
+                per_row = engine.push_query_batch(qs.name, batch)
+                for (tup, at), results in zip(rows[i:j], per_row):
+                    self._account_results(qs, tup, results, at)
+            i = j
+
     def _deliver_now(self, qs: _QueryState, tup: StreamTuple) -> None:
         """Push one tuple into a query's plan and account its results."""
         results = self.engines[qs.host].push_query(qs.name, tup)
+        self._account_results(qs, tup, results, self.loop.now)
+
+    def _account_results(
+        self,
+        qs: _QueryState,
+        tup: StreamTuple,
+        results: List[StreamTuple],
+        at: float,
+    ) -> None:
+        """Account one delivered tuple's results (latency, proxy traffic)."""
         if not results:
             return
         proxy = qs.simq.spec.proxy
         proxy_ms = 0.0
         if qs.host != proxy:
             proxy_ms = self.network.account_path(qs.host, proxy, float(len(results)))
-        latency = (self.loop.now - tup.timestamp) + proxy_ms / 1000.0
+        latency = (at - tup.timestamp) + proxy_ms / 1000.0
         for r in results:
             self._interval_results += 1
-            self._interval_lat_sum += latency
-            if latency > self._interval_lat_max:
-                self._interval_lat_max = latency
+            qs.lat_sum += latency
+            if latency > qs.lat_max:
+                qs.lat_max = latency
             self.results_total += 1
             if self.record:
                 qs.results.append(r)
@@ -439,6 +693,7 @@ class SimCluster:
         self.remove_query(query_id)
 
     def _hotspot(self, substream_ids: List[int], factor: float) -> None:
+        self._flush_batches()
         self.space.perturb_rates(substream_ids, factor)
         # restart each affected substream's emission chain at the new rate
         # (also revives chains whose next arrival had run past the horizon)
@@ -479,6 +734,9 @@ class SimCluster:
 
     def _adapt_round(self) -> None:
         """One Section 3.7 round driven by *measured* engine loads."""
+        # measured loads must include every delivery the scalar plane
+        # would have processed by now; migrations change hosts/tables
+        self._flush_batches()
         dt = self.params.adapt_interval
         loads = self._measured_loads(dt, "cpu_at_adapt")
         if loads:
@@ -515,18 +773,32 @@ class SimCluster:
             self.loop.schedule(nxt, self._adapt_round)
 
     def _sample(self, closing: bool = False) -> None:
+        # the sample must observe every delivery the scalar plane has
+        # processed by this instant
+        self._flush_batches()
         # actual elapsed interval: equals sample_interval for periodic
         # samples, but the closing sample covers only the drain tail
         dt = max(self.loop.now - self._last_sample_t, 1e-9)
         self._last_sample_t = self.loop.now
         loads = self._measured_loads(dt, "cpu_at_sample")
         n = self._interval_results
+        # merge per-query latency accumulators in query-id order: one
+        # canonical float summation order on both data planes
+        lat_sum = 0.0
+        lat_max = 0.0
+        for query_id in sorted(self.queries):
+            qs = self.queries[query_id]
+            lat_sum += qs.lat_sum
+            if qs.lat_max > lat_max:
+                lat_max = qs.lat_max
+            qs.lat_sum = 0.0
+            qs.lat_max = 0.0
         self.trace.samples.append(
             TraceSample(
                 t=self.loop.now if not closing else max(self.loop.now, self.duration),
                 throughput=n / dt,
-                mean_latency=self._interval_lat_sum / n if n else 0.0,
-                max_latency=self._interval_lat_max,
+                mean_latency=lat_sum / n if n else 0.0,
+                max_latency=lat_max,
                 load_stddev=self._placement_stddev(loads),
                 alive_queries=sum(1 for q in self.queries.values() if q.alive),
                 migrations_total=self.migrations,
@@ -536,8 +808,6 @@ class SimCluster:
             )
         )
         self._interval_results = 0
-        self._interval_lat_sum = 0.0
-        self._interval_lat_max = 0.0
         if not closing:
             nxt = self.loop.now + dt
             if nxt <= self.duration:
@@ -671,9 +941,16 @@ def run_scenario(
     cluster.run()
 
     results = None
+    link_bytes = None
+    cpu_costs = None
     if record:
         results = {
             query_id: [dict(t.values) for t in qs.results]
+            for query_id, qs in cluster.queries.items()
+        }
+        link_bytes = dict(cluster.network.link_bytes)
+        cpu_costs = {
+            query_id: qs.plan.cpu_cost()
             for query_id, qs in cluster.queries.items()
         }
     return SimReport(
@@ -684,6 +961,8 @@ def run_scenario(
         events_processed=cluster.loop.processed,
         results=results,
         actions=cluster.actions,
+        link_bytes=link_bytes,
+        cpu_costs=cpu_costs,
     )
 
 

@@ -217,6 +217,49 @@ class TestEngineManagement:
         assert e.cpu_costs()["q"] >= 10
 
 
+class TestRetainResults:
+    """Regression: `push` must not grow `results` unboundedly when capped."""
+
+    def q(self, **kwargs):
+        e = Engine(**kwargs)
+        e.add_query(parse_query("SELECT R.a FROM R [Now]", name="q"))
+        return e
+
+    def test_default_retains_everything(self):
+        e = self.q()
+        for i in range(50):
+            e.push(tup("R", i, a=i))
+        assert len(e.results["q"]) == 50
+
+    def test_cap_keeps_newest(self):
+        e = self.q(retain_results=10)
+        for i in range(50):
+            e.push(tup("R", i, a=i))
+        assert len(e.results["q"]) == 10
+        assert [t.get("R.a") for t in e.results["q"]] == list(range(40, 50))
+
+    def test_zero_disables_buffering_but_not_sinks(self):
+        e = self.q(retain_results=0)
+        seen = []
+        e.on_result("q", seen.append)
+        out = [r for i in range(20) for r in e.push(tup("R", i, a=i))]
+        assert e.results["q"] == []
+        assert len(seen) == 20 and len(out) == 20
+
+    def test_cap_applies_to_push_batch(self):
+        from repro.engine import TupleBatch
+
+        e = self.q(retain_results=5)
+        rows = [tup("R", float(i), a=i) for i in range(30)]
+        e.push_batch(TupleBatch.from_tuples("R", rows))
+        assert len(e.results["q"]) == 5
+        assert [t.get("R.a") for t in e.results["q"]] == list(range(25, 30))
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(retain_results=-1)
+
+
 class TestSensors:
     def test_fleet_streams_unique(self):
         fleet = SensorFleet.build(5, seed=1)
