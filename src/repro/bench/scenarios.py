@@ -61,6 +61,9 @@ SCALES: Dict[str, Dict] = {
             scale_sweep=[(8, 200), (16, 500)],
             scale_events=60,
             batch_rate_range=(2.0, 5.0),
+            sharing_pools=[40, 4],
+            sharing_rate_range=(1.0, 3.0),
+            sharing_duration=10.0,
         ),
         engine=dict(
             sweep=[(4096, 5, 0.5), (4096, 10, 0.3)],
@@ -80,6 +83,10 @@ SCALES: Dict[str, Dict] = {
             scale_sweep=[(16, 500), (32, 1000), (64, 2500)],
             scale_events=80,
             batch_rate_range=(2.0, 6.0),
+            sharing_pools=[80, 16, 4],
+            sharing_queries=120,
+            sharing_rate_range=(2.0, 4.0),
+            sharing_duration=20.0,
         ),
         engine=dict(
             sweep=[(10240, 5, 0.5), (10240, 15, 0.3), (20480, 20, 0.3)],
@@ -101,6 +108,15 @@ SCALES: Dict[str, Dict] = {
             # ISSUE 3 acceptance gate, checked at the largest swept size
             scale_min_speedup=5.0,
             batch_rate_range=(3.0, 8.0),
+            # ISSUE 5: workload-overlap sweep (pool of substreams queries
+            # draw from; smaller pool = more overlap), gated at the
+            # highest-overlap point
+            sharing_pools=[160, 32, 8, 2],
+            sharing_queries=800,
+            sharing_rate_range=(2.0, 5.0),
+            sharing_duration=30.0,
+            sharing_max_ratio=0.5,
+            sharing_min_speedup=2.0,
         ),
         engine=dict(
             sweep=[

@@ -17,6 +17,12 @@ benchmarks:
   asserting bit-identical delivery and recording wall-clock seconds per
   simulated tuple on both (the reference/fast discipline of the kernel
   scenarios, applied to the pub/sub layer).
+* ``sim_sharing`` -- shared multi-query execution (Section 2) over a
+  workload-overlap sweep: each point runs the same scenario unshared
+  (the reference) and with ``use_sharing=True``, asserts the shared run
+  delivers exactly the per-user-query results of the unshared one, and
+  records the executed-vs-user query ratio plus the end-to-end speedup.
+  At full scale the highest-overlap point gates both.
 
 For the first three there is no reference/fast split: the wall time
 recorded there is the simulator's own cost trajectory, and the
@@ -293,6 +299,105 @@ def bench_sim_scale(scale: Dict) -> Dict:
         "fast_s": largest["fast_s_per_tuple"] * largest["events"],
         "speedup": largest["speedup"],
         "parity": {"identical_deliveries": True},
+        "sweep": sweep,
+    }
+
+
+@scenario("sim_sharing")
+def bench_sim_sharing(scale: Dict) -> Dict:
+    """Shared execution sweep: merged plans vs one plan per user query."""
+    sim = sim_settings(scale)
+    pools = sim["sharing_pools"]  # descending pool size = rising overlap
+    queries = sim.get("sharing_queries", sim["queries"])
+    duration = sim.get("sharing_duration", sim["duration"])
+    # per-query parity is checked on a shorter recorded pair (recording
+    # hundreds of thousands of result dicts would distort the timed runs)
+    parity_duration = sim.get("sharing_parity_duration", min(duration, 12.0))
+    rate_range = tuple(sim.get("sharing_rate_range", sim.get("rate_range", (0.2, 1.0))))
+
+    def params(use_sharing: bool, dur: float) -> ScenarioParams:
+        return ScenarioParams(
+            duration=dur,
+            sample_interval=sim["sample_interval"],
+            adapt_interval=sim["adapt_interval"],
+            initial_placement="cosmos",
+            use_sharing=use_sharing,
+        )
+
+    sweep = []
+    for pool in pools:
+        workload = SimWorkloadParams(
+            num_substreams=sim["substreams"],
+            num_queries=queries,
+            rate_range=rate_range,
+            pool_substreams=pool,
+        )
+
+        def run(use_sharing: bool, dur: float, record: bool):
+            t0 = time.perf_counter()
+            report = run_scenario(
+                seed=sim["seed"],
+                topology=_topology(sim),
+                num_sources=sim["sources"],
+                num_processors=sim["processors"],
+                workload=workload,
+                scenario=params(use_sharing, dur),
+                record=record,
+            )
+            return report, time.perf_counter() - t0
+
+        unshared, ref_s = run(False, duration, False)
+        shared, fast_s = run(True, duration, False)
+        assert shared.trace.total_results() == unshared.trace.total_results(), (
+            f"shared run result count diverged at pool={pool}"
+        )
+        assert shared.trace.total_results() > 0, "sweep point emitted no results"
+        par_unshared, _ = run(False, parity_duration, True)
+        par_shared, _ = run(True, parity_duration, True)
+        assert par_shared.results == par_unshared.results, (
+            f"shared run diverged from the unshared reference at pool={pool}"
+        )
+        ratio = shared.executed_queries / max(1, shared.user_queries)
+        sweep.append({
+            "pool_substreams": pool,
+            "user_queries": shared.user_queries,
+            "executed_queries": shared.executed_queries,
+            "executed_ratio": ratio,
+            "results": shared.trace.total_results(),
+            "reference_s": ref_s,
+            "fast_s": fast_s,
+            "speedup": ref_s / fast_s,
+        })
+
+    densest = sweep[-1]
+    max_ratio = sim.get("sharing_max_ratio")
+    if max_ratio is not None:
+        assert densest["executed_ratio"] < max_ratio, (
+            f"executed/user ratio {densest['executed_ratio']:.2f} above the "
+            f"{max_ratio:g} acceptance gate at pool={densest['pool_substreams']}"
+        )
+    min_speedup = sim.get("sharing_min_speedup")
+    if min_speedup is not None:
+        assert densest["speedup"] >= min_speedup, (
+            f"shared execution speedup {densest['speedup']:.2f}x below the "
+            f"{min_speedup:g}x acceptance gate at pool={densest['pool_substreams']}"
+        )
+    return {
+        "params": {
+            "processors": sim["processors"],
+            "substreams": sim["substreams"],
+            "queries": queries,
+            "duration_s": duration,
+            "rate_range": list(rate_range),
+            "pools": pools,
+        },
+        "reference_s": densest["reference_s"],
+        "fast_s": densest["fast_s"],
+        "speedup": densest["speedup"],
+        "parity": {
+            "identical_results": True,
+            "executed_ratio": densest["executed_ratio"],
+        },
         "sweep": sweep,
     }
 

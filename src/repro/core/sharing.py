@@ -19,7 +19,7 @@ doubles as a reference for how a downstream system would embed COSMOS.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..engine.executor import Engine
 from ..engine.tuples import StreamTuple
@@ -27,8 +27,12 @@ from ..pubsub.messages import Event, result_stream_name
 from ..pubsub.network import PubSubNetwork
 from ..pubsub.subscriptions import Advertisement, Subscription
 from ..query.ast import Query
-from ..query.containment import selection_filter
-from ..query.merging import SharedGroup, split_subscription
+from ..query.merging import (
+    SharedGroup,
+    SharedGroupEntry,
+    source_subscriptions,
+    split_subscription,
+)
 from ..topology.overlay import OverlayTree
 
 __all__ = ["DeployedQuery", "SharingDeployment"]
@@ -48,6 +52,21 @@ class DeployedQuery:
     received: List[Event] = field(default_factory=list)
 
 
+@dataclass
+class _GroupRuntime:
+    """Per shared-group deployment state, keyed by the group's stable id.
+
+    Streams, advertisements and the installed ``p^1`` subscription set
+    all belong to one :class:`~repro.query.merging.SharedGroupEntry` for
+    its whole lifetime; keying this off a list index goes stale the
+    moment groups collapse or retire.
+    """
+
+    stream: str
+    adv: Advertisement
+    p1_subs: List[Subscription] = field(default_factory=list)
+
+
 class SharingDeployment:
     """Engines + pub/sub wired from a placement."""
 
@@ -61,7 +80,8 @@ class SharingDeployment:
         self.engines: Dict[int, Engine] = {}
         self.groups: Dict[int, SharedGroup] = {}
         self.deployed: Dict[str, DeployedQuery] = {}
-        self._result_stream_of_group: Dict[Tuple[int, int], str] = {}
+        #: (processor, gid) -> the group's result stream / adv / p^1 set
+        self._group_runtime: Dict[Tuple[int, int], _GroupRuntime] = {}
         for stream, node in self.stream_sources.items():
             self.net.advertise(node, Advertisement(stream=stream))
 
@@ -72,67 +92,39 @@ class SharingDeployment:
         The query is merged into an existing compatible group when
         possible; the group's merged query replaces the previous one in
         the engine, and all member users get fresh split subscriptions.
+        Re-declaring an already-deployed name replaces the old version
+        (stale members never linger in a group) and re-homes the user's
+        result subscription when ``proxy`` changed.
         """
         if not query.name:
             raise ValueError("queries must be named before deployment")
-        engine = self.engines.setdefault(processor, Engine(node=processor))
+        if query.name in self.deployed:
+            # a re-declaration replaces the previous deployment outright:
+            # withdrawing it first re-folds (and, when emptied, retires)
+            # its old group wherever it lives -- in particular on a
+            # *different* processor, where the new deploy below would
+            # otherwise leave a stale phantom member executing forever
+            received = self.deployed[query.name].received
+            self.undeploy(query.name)
+        else:
+            received = None
+        self.engines.setdefault(processor, Engine(node=processor))
         group = self.groups.setdefault(processor, SharedGroup(processor))
 
-        merged = group.add(query)
-        gi = next(
-            i for i, (m, _) in enumerate(group.groups) if m is merged
-        )
-        stream = self._result_stream_of_group.get((processor, gi))
-        if stream is None:
-            stream = result_stream_name(processor, f"g{gi}")
-            self._result_stream_of_group[(processor, gi)] = stream
-            # the processor advertises the new result stream so user
-            # subscriptions can route toward it (Section 2.1)
-            self.net.advertise(processor, Advertisement(stream=stream))
-
-        # (re)install the merged query in the engine
-        old_names = [
-            n for n, plan in engine.plans.items()
-            if plan.result_stream == stream
-        ]
-        for n in old_names:
-            engine.remove_query(n)
-        executed = Query(
-            select=merged.select,
-            bindings=merged.bindings,
-            where=merged.where,
-            name=f"{stream}::exec",
-        )
-        engine.add_query(executed, result_stream=stream)
-
-        # subscription p^1: the processor pulls the source data it needs,
-        # carrying the merged query's filters for early data filtering.
-        # Source events carry *unqualified* attribute names, so the
-        # alias prefix is stripped from the predicates.
-        from ..pubsub.predicates import Constraint, Filter
-        from ..query.ast import AttrRef, Literal
-
-        for binding in executed.bindings:
-            constraints = [
-                Constraint(c.left.attr, c.op, c.right.value)
-                for c in executed.selections()
-                if isinstance(c.left, AttrRef)
-                and c.left.stream == binding.alias
-                and isinstance(c.right, Literal)
-            ]
-            self.net.subscribe(
-                processor,
-                Subscription.to_streams(
-                    [binding.stream], filter=Filter(constraints)
-                ),
-            )
+        entry, retired = group.add(query)
+        for dead in retired:
+            self._retire_group(processor, dead.gid)
+        executed = self._install_group(processor, entry)
+        stream = self._group_runtime[(processor, entry.gid)].stream
 
         # subscription p^2 per member: carve results at the proxy
-        members = group.groups[gi][1]
-        for member in members:
-            sub = split_subscription(merged, member, stream)
+        for member in entry.members:
+            sub = split_subscription(entry.merged, member, stream)
             dq = self.deployed.get(member.name)
             if dq is None:
+                # the deployed query itself (re-declarations were
+                # withdrawn above, so they re-enter here with the new
+                # proxy/processor/query version)
                 dq = DeployedQuery(
                     query=member,
                     proxy=proxy,
@@ -146,7 +138,139 @@ class SharingDeployment:
                 dq.executed_name = executed.name
                 dq.result_subscription = sub
             self.net.subscribe(dq.proxy, sub)
-        return self.deployed[query.name]
+        self._repair_result_covering(entry)
+        dq = self.deployed[query.name]
+        if received is not None:
+            dq.received = received  # a re-declaration keeps its history
+        return dq
+
+    # ------------------------------------------------------------------
+    def undeploy(self, query_name: str) -> None:
+        """Withdraw one user query.
+
+        The member's split subscription is torn down, its group re-merges
+        from the remaining members (so filters and windows *narrow* back
+        to the survivors' hull), and covering holes the teardown opened
+        on surviving subscriptions are repaired by ``force=True``
+        re-propagation.  An emptied group retires completely: merged
+        plan, ``p^1`` subscriptions and result-stream advertisement.
+        """
+        dq = self.deployed.pop(query_name, None)
+        if dq is None:
+            raise KeyError(query_name)
+        self.net.unsubscribe(dq.result_subscription.sub_id)
+        group = self.groups[dq.processor]
+        entry, retired = group.remove(query_name)
+        for dead in retired:
+            self._retire_group(dq.processor, dead.gid)
+        if entry is None:
+            return
+        executed = self._install_group(dq.processor, entry)
+        stream = self._group_runtime[(dq.processor, entry.gid)].stream
+        for member in entry.members:
+            mdq = self.deployed[member.name]
+            self.net.unsubscribe(mdq.result_subscription.sub_id)
+            mdq.executed_name = executed.name
+            mdq.result_subscription = split_subscription(
+                entry.merged, member, stream
+            )
+            self.net.subscribe(mdq.proxy, mdq.result_subscription)
+        self._repair_result_covering(entry)
+
+    # ------------------------------------------------------------------
+    def _install_group(self, processor: int, entry: SharedGroupEntry) -> Query:
+        """(Re)install a group's merged plan and ``p^1`` subscriptions."""
+        engine = self.engines[processor]
+        rt = self._group_runtime.get((processor, entry.gid))
+        if rt is None:
+            stream = result_stream_name(processor, f"g{entry.gid}")
+            adv = Advertisement(stream=stream)
+            # the processor advertises the new result stream so user
+            # subscriptions can route toward it (Section 2.1)
+            self.net.advertise(processor, adv)
+            rt = _GroupRuntime(stream=stream, adv=adv)
+            self._group_runtime[(processor, entry.gid)] = rt
+
+        # (re)install the merged query in the engine
+        for n in [
+            n for n, plan in engine.plans.items()
+            if plan.result_stream == rt.stream
+        ]:
+            engine.remove_query(n)
+        executed = Query(
+            select=entry.merged.select,
+            bindings=entry.merged.bindings,
+            where=entry.merged.where,
+            name=f"{rt.stream}::exec",
+        )
+        engine.add_query(executed, result_stream=rt.stream)
+
+        # subscription p^1: the processor pulls the source data it needs,
+        # carrying the merged query's filters for early data filtering.
+        # The previous set is torn down first -- every re-merge used to
+        # leave its stale subscriptions on the processor forever, so
+        # tables (and, whenever a re-merge narrows the hull, overlay
+        # traffic) grew without bound.
+        old = rt.p1_subs
+        touched = {s for sub in old for s in sub.streams}
+        for sub in old:
+            self.net.unsubscribe(sub.sub_id)
+        rt.p1_subs = source_subscriptions(executed)
+        for sub in rt.p1_subs:
+            self.net.subscribe(processor, sub)
+            touched |= sub.streams
+        self._repair_source_covering(touched)
+        return executed
+
+    def _retire_group(self, processor: int, gid: int) -> None:
+        """Tear down everything an absorbed/emptied group left behind.
+
+        Without this, a retired group's result stream kept an orphan
+        advertisement alive and its orphan plan kept executing (and
+        charging CPU) at the engine forever.
+        """
+        rt = self._group_runtime.pop((processor, gid), None)
+        if rt is None:
+            return
+        engine = self.engines[processor]
+        for n in [
+            n for n, plan in engine.plans.items()
+            if plan.result_stream == rt.stream
+        ]:
+            engine.remove_query(n)
+        touched = {s for sub in rt.p1_subs for s in sub.streams}
+        for sub in rt.p1_subs:
+            self.net.unsubscribe(sub.sub_id)
+        self.net.unadvertise(rt.adv.adv_id)
+        self._repair_source_covering(touched)
+
+    def _repair_source_covering(self, streams: set) -> None:
+        """Re-propagate every live ``p^1`` subscription touching ``streams``.
+
+        Tearing a subscription down is a tree-wide delete; a survivor it
+        had covered is left with a forwarding hole beyond the brokers
+        that still hold its entries, and only ``force=True``
+        re-propagation fills it (the PR 3 covering-repair discipline).
+        """
+        if not streams:
+            return
+        for (proc, _gid), rt in self._group_runtime.items():
+            for sub in rt.p1_subs:
+                if sub.streams & streams:
+                    self.net.subscribe(proc, sub, force=True)
+
+    def _repair_result_covering(self, entry: SharedGroupEntry) -> None:
+        """Force re-propagation of every member's ``p^2`` subscription.
+
+        The member loop replaces subscriptions one at a time; an earlier
+        replacement may have stopped propagating where a later-removed
+        subscription covered it, so one forced pass over the final set
+        closes any such hole.
+        """
+        for member in entry.members:
+            dq = self.deployed.get(member.name)
+            if dq is not None:
+                self.net.subscribe(dq.proxy, dq.result_subscription, force=True)
 
     # ------------------------------------------------------------------
     def publish(self, source_tuple: StreamTuple) -> None:

@@ -98,6 +98,62 @@ class QueryPlan:
         self.results_emitted += out.n
         return out, row_index
 
+    def widen_to(self, query: Query) -> None:
+        """Widen this plan *in place* to a superset ``query``.
+
+        The shared execution plane grows a group's merged query when a
+        member joins; recompiling would discard the join-window state the
+        existing members still need, so instead the operators are widened
+        where they stand:
+
+        * per-alias :class:`~repro.engine.operators.Select` predicates are
+          replaced by the superset query's (weaker) conjunction;
+        * join window specs grow (evictions simply stop earlier from the
+          next probe on -- rows already evicted under the narrower window
+          predate the joining member and are never needed by it);
+        * the projection becomes the union of the two select lists.
+
+        Only widening is legal: ``query`` must contain the current plan
+        query, keep its name (the engine registry key) and keep the same
+        bindings/join shape.
+        """
+        from ..query.containment import contains
+
+        if query.name != self.query.name:
+            raise ValueError("widen_to must preserve the plan's query name")
+        if not contains(query, self.query):
+            raise ValueError("widen_to requires a superset query")
+        for b in query.bindings:
+            preds = [
+                c for c in query.selections()
+                if isinstance(c.left, AttrRef) and c.left.stream == b.alias
+            ]
+            self.selects[b.alias].predicates = preds
+        if self.join is not None:
+            # look bindings up by alias -- a superset query built by
+            # merging may list them in the other order
+            for alias, win, cols in (
+                (self.join.left_alias, self.join.left_window, self.join.left_cols),
+                (self.join.right_alias, self.join.right_window, self.join.right_cols),
+            ):
+                binding = query.binding(alias)
+                win.spec = binding.window
+                if cols is not None:
+                    cols.spec = binding.window
+        if self.project.attributes is not None:
+            attrs: Optional[List[str]] = []
+            for b in query.bindings:
+                selected = query.projected_attrs(b.alias)
+                if selected is None:
+                    attrs = None
+                    break
+                attrs.extend(f"{b.alias}.{a}" for a in selected)
+            if attrs is None:
+                self.project.attributes = None
+            else:
+                self.project.attributes |= set(attrs)
+        self.query = query
+
     def cpu_cost(self) -> int:
         """Tuples inspected across all operators (load estimation input)."""
         total = sum(s.inspected for s in self.selects.values())

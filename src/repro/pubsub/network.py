@@ -64,12 +64,17 @@ class PubSubNetwork:
         self._subscriber_node: Dict[int, int] = {}
         #: (u, v) -> (edge list, latency ms) memo for :meth:`account_path`
         self._path_cache: Dict[Tuple[int, int], Tuple[list, float]] = {}
+        #: control-plane version: bumped by every subscribe / unsubscribe /
+        #: advertise / unadvertise, so callers can memoise routing-derived
+        #: state and invalidate it exactly when tables may have changed
+        self.version = 0
 
     # ------------------------------------------------------------------
     # control plane
     # ------------------------------------------------------------------
     def advertise(self, source: int, adv: Advertisement, size: float = 1.0) -> None:
         """Flood ``adv`` from ``source`` over the whole tree."""
+        self.version += 1
         self._broker(source).table.add_advertisement(adv, LOCAL)
         queue = deque([(source, None)])
         while queue:
@@ -101,6 +106,7 @@ class PubSubNetwork:
         migration rounds) repair such holes by re-subscribing with
         ``force=True``; the call is idempotent.
         """
+        self.version += 1
         broker = self._broker(node)
         self._subscriber_node[sub.sub_id] = node
         broker.table.add_subscription(sub, LOCAL)
@@ -129,9 +135,26 @@ class PubSubNetwork:
 
     def unsubscribe(self, sub_id: int) -> None:
         """Remove a subscription everywhere (tree-wide)."""
+        self.version += 1
         self._subscriber_node.pop(sub_id, None)
         for broker in self.brokers.values():
             broker.table.remove_subscription(sub_id)
+
+    def unadvertise(self, adv_id: int) -> None:
+        """Retire an advertisement everywhere (tree-wide).
+
+        The teardown counterpart of :meth:`advertise`, used when a result
+        stream stops being produced (a shared group retiring) or moves to
+        another node (a shared plan migrating -- retire, then re-advertise
+        from the new host).  Like :meth:`unsubscribe` it is modelled as a
+        tree-wide delete rather than a protocol walk, so no control
+        traffic is charged; subscriptions that had propagated toward the
+        old advertiser keep their entries and are repaired by the
+        caller's ``subscribe(..., force=True)`` pass.
+        """
+        self.version += 1
+        for broker in self.brokers.values():
+            broker.table.remove_advertisement(adv_id)
 
     # ------------------------------------------------------------------
     # data plane

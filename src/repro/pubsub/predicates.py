@@ -210,6 +210,9 @@ class Filter:
         for c in self.constraints:
             rng = self._ranges.setdefault(c.attr, AttributeRange())
             rng.add(c)
+        #: memoised emptiness -- ranges never change after construction,
+        #: and ``matches`` (the per-event hot path) asks every time
+        self._empty_cache: Optional[bool] = None
 
     @classmethod
     def of(cls, *triples: Tuple[str, str, Any]) -> "Filter":
@@ -226,7 +229,9 @@ class Filter:
         return not self._ranges
 
     def is_empty(self) -> bool:
-        return any(r.empty for r in self._ranges.values())
+        if self._empty_cache is None:
+            self._empty_cache = any(r.empty for r in self._ranges.values())
+        return self._empty_cache
 
     def matches(self, attributes: Dict[str, Any]) -> bool:
         if self.is_empty():
@@ -272,6 +277,7 @@ class Filter:
             if not (r.membership is None and r.low == float("-inf")
                     and r.high == float("inf") and not r.exclusions)
         }
+        merged._empty_cache = None  # ranges were rebuilt after __init__
         return merged
 
     def conjoin(self, other: "Filter") -> "Filter":

@@ -51,6 +51,12 @@ class RoutingTable:
     _index: Optional[ForwardingIndex] = field(
         default=None, repr=False, compare=False
     )
+    #: stream name -> adv_ids advertising it (propagation never scans the
+    #: whole advertisement table; a subscription only intersects
+    #: advertisements of streams it requests)
+    _adv_streams: Dict[str, Set[int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.use_index:
@@ -58,6 +64,8 @@ class RoutingTable:
             for iface, entries in self.subscriptions.items():
                 for sub in entries:
                     self._index.add(sub, iface)
+        for adv_id, (adv, _via) in self.advertisements.items():
+            self._adv_streams.setdefault(adv.stream, set()).add(adv_id)
 
     # ------------------------------------------------------------------
     # advertisements
@@ -67,18 +75,33 @@ class RoutingTable:
         if adv.adv_id in self.advertisements:
             return False
         self.advertisements[adv.adv_id] = (adv, via)
+        self._adv_streams.setdefault(adv.stream, set()).add(adv.adv_id)
         return True
 
     def remove_advertisement(self, adv_id: int) -> None:
-        self.advertisements.pop(adv_id, None)
+        entry = self.advertisements.pop(adv_id, None)
+        if entry is None:
+            return
+        ids = self._adv_streams.get(entry[0].stream)
+        if ids is not None:
+            ids.discard(adv_id)
+            if not ids:
+                del self._adv_streams[entry[0].stream]
 
     def advertiser_interfaces(self, sub: Subscription) -> Set[Interface]:
-        """Interfaces leading toward sources whose adverts intersect ``sub``."""
-        return {
-            via
-            for adv, via in self.advertisements.values()
-            if via != LOCAL and adv.intersects(sub)
-        }
+        """Interfaces leading toward sources whose adverts intersect ``sub``.
+
+        Only advertisements of the subscription's requested streams are
+        probed (others cannot intersect) -- same result set as a full
+        table scan, without touching every advertisement per hop.
+        """
+        out: Set[Interface] = set()
+        for stream in sub.streams:
+            for adv_id in self._adv_streams.get(stream, ()):
+                adv, via = self.advertisements[adv_id]
+                if via != LOCAL and via not in out and adv.intersects(sub):
+                    out.add(via)
+        return out
 
     # ------------------------------------------------------------------
     # subscriptions

@@ -13,6 +13,7 @@ constraint (as a timestamp band) and the projection.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..pubsub.predicates import Constraint, Filter
@@ -28,7 +29,15 @@ from .ast import (
 )
 from .containment import align_bindings, contains, selection_filter
 
-__all__ = ["merge_queries", "split_subscription", "mergeable", "SharedGroup"]
+__all__ = [
+    "merge_queries",
+    "merge_all",
+    "split_subscription",
+    "source_subscriptions",
+    "mergeable",
+    "SharedGroup",
+    "SharedGroupEntry",
+]
 
 
 def mergeable(a: Query, b: Query) -> bool:
@@ -121,8 +130,35 @@ def merge_queries(a: Query, b: Query, name: str = "") -> Query:
     )
 
 
+def merge_all(queries: Sequence[Query], name: str = "") -> Query:
+    """Fold a non-empty sequence of pairwise-mergeable queries into the
+    *tight* superset query (left fold of :func:`merge_queries`).
+
+    Re-merging a group from its current members goes through here: unlike
+    hulling against a previous merged query, the fold forgets departed
+    members, so filters/windows can narrow back down.
+    """
+    if not queries:
+        raise ValueError("cannot merge an empty query set")
+    merged = queries[0]
+    for q in queries[1:]:
+        merged = merge_queries(merged, q, name=name)
+    if merged.name != name:
+        merged = Query(
+            select=merged.select,
+            bindings=merged.bindings,
+            where=merged.where,
+            name=name,
+        )
+    return merged
+
+
 def split_subscription(
-    merged: Query, original: Query, result_stream: str
+    merged: Query,
+    original: Query,
+    result_stream: str,
+    emitted_after: Optional[float] = None,
+    emitted_before: Optional[float] = None,
 ) -> Subscription:
     """The subscription a user inserts to get ``original``'s results out of
     ``merged``'s result stream (the paper's p^3_2 / p^4_2).
@@ -132,9 +168,21 @@ def split_subscription(
     * S  -- the merged result stream name;
     * P  -- the original query's projected (qualified) attributes;
     * F  -- the original residual selections plus, per non-``[Now]``
-      binding, the window constraint as a timestamp band
+      binding of a *join* query, the window constraint as a timestamp band
       ``-W <= Alias.timestamp - Anchor.timestamp <= 0`` encoded against
-      the merged stream's top-level timestamp.
+      the merged stream's top-level timestamp.  Single-binding queries get
+      no band: their results carry no ``timestamp_lag`` attribute and the
+      window has no effect on selection-only semantics, so a band would
+      (wrongly) drop every result.
+
+    ``emitted_after`` / ``emitted_before`` bound the *lifetime span* of
+    the carve: per binding, only result tuples all of whose constituent
+    input tuples were emitted inside ``[emitted_after, emitted_before]``
+    match.  A shared execution plane uses this under churn -- a member
+    that joins a long-running merged query must not receive results
+    derived from inputs that predate it (its own plan would have started
+    with empty windows), and a departing member must stop at exactly the
+    inputs a freshly-removed plan would have seen.
     """
     if not contains(merged, original):
         raise ValueError("merged query does not contain the original")
@@ -157,16 +205,37 @@ def split_subscription(
             constraints.append(Constraint(str(c.left), c.op, c.right.value))
     # window bands: tuples in the merged result carry per-alias timestamps;
     # the newest side anchors at the result timestamp, so the partner's
-    # timestamp must lie within the original (smaller) window.
-    for b in original.bindings:
-        mb = merged.binding(b.alias)
-        if b.window.is_time and mb.window.is_time:
-            if mb.window.seconds > b.window.seconds:
-                constraints.append(
-                    Constraint(
-                        f"{b.alias}.timestamp_lag", "<=", float(b.window.seconds)
+    # timestamp must lie within the original (smaller) window.  Only join
+    # results carry the per-alias ``timestamp_lag`` attributes the band
+    # rides on; for single-binding queries the window is semantically
+    # inert (no join state), so no band is needed or emitted.
+    if len(original.bindings) > 1:
+        for b in original.bindings:
+            mb = merged.binding(b.alias)
+            if b.window.is_time and mb.window.is_time:
+                if mb.window.seconds > b.window.seconds:
+                    constraints.append(
+                        Constraint(
+                            f"{b.alias}.timestamp_lag", "<=", float(b.window.seconds)
+                        )
                     )
+    if emitted_after is not None or emitted_before is not None:
+        for b in original.bindings:
+            if emitted_after is not None:
+                constraints.append(
+                    Constraint(f"{b.alias}.timestamp", ">=", float(emitted_after))
                 )
+            if emitted_before is not None:
+                constraints.append(
+                    Constraint(f"{b.alias}.timestamp", "<=", float(emitted_before))
+                )
+    if projection is not None:
+        # the filter is evaluated at every overlay hop, and in-network
+        # projection forwards only the union of requested attributes --
+        # a subscription must request what its own filter reads, or the
+        # carve silently drops everything one hop past the first
+        needed = {c.attr for c in constraints}
+        projection.extend(sorted(needed - set(projection)))
     return Subscription.to_streams(
         [result_stream],
         projection=projection,
@@ -174,45 +243,167 @@ def split_subscription(
     )
 
 
+def source_subscriptions(query: Query) -> List[Subscription]:
+    """The ``p^1`` source subscriptions of a (merged) query.
+
+    One subscription per distinct input stream, carrying the query's
+    per-alias selection constraints with the alias prefix stripped
+    (source events are unqualified) -- the paper's early data filtering.
+    A stream read through several aliases (self-join) gets the
+    per-alias hull, so every tuple any alias could use is delivered.
+    """
+    from .ast import AttrRef, Literal
+
+    by_stream = {}
+    for binding in query.bindings:
+        constraints = [
+            Constraint(c.left.attr, c.op, c.right.value)
+            for c in query.selections()
+            if isinstance(c.left, AttrRef)
+            and c.left.stream == binding.alias
+            and isinstance(c.right, Literal)
+        ]
+        filt = Filter(constraints)
+        prev = by_stream.get(binding.stream)
+        by_stream[binding.stream] = filt if prev is None else prev.hull(filt)
+    return [
+        Subscription.to_streams([stream], filter=filt)
+        for stream, filt in by_stream.items()
+    ]
+
+
+@dataclass
+class SharedGroupEntry:
+    """One shared group: a merged superset query plus its members.
+
+    ``gid`` is stable for the entry's whole lifetime -- result streams,
+    engine plans and advertisements key off it, never off a list index
+    (indices shift when groups collapse or retire, leaving orphan state
+    behind).
+    """
+
+    gid: int
+    merged: Query
+    members: List[Query] = field(default_factory=list)
+
+    def member_names(self) -> List[str]:
+        return [m.name for m in self.members]
+
+
 class SharedGroup:
     """Bookkeeping for result sharing at one processor.
 
     Greedy pairwise merging: queries are added one by one; each new query
     merges into the first group it is mergeable with, and the group's
-    superset query is recomputed.
+    superset query is recomputed.  Groups carry stable ids
+    (:class:`SharedGroupEntry`); mutations report every entry they
+    retired so the deployment layer can tear down the retired groups'
+    plans, advertisements and subscriptions.
     """
 
     def __init__(self, processor: int):
         self.processor = processor
-        #: list of (merged query, member originals)
-        self.groups: List[Tuple[Query, List[Query]]] = []
+        self.entries: List[SharedGroupEntry] = []
+        self._next_gid = 0
 
-    def add(self, query: Query) -> Query:
-        """Add a query; returns the (possibly merged) query to execute."""
-        for i, (merged, members) in enumerate(self.groups):
-            if mergeable(merged, query):
-                new_merged = merge_queries(
-                    merged, query, name=f"shared_{self.processor}_{i}"
-                )
-                members.append(query)
-                self.groups[i] = (new_merged, members)
-                return new_merged
-        self.groups.append((query, [query]))
-        return query
+    # -- compatibility view used by older callers/tests ----------------
+    @property
+    def groups(self) -> List[Tuple[Query, List[Query]]]:
+        """``[(merged query, member originals)]`` in entry order."""
+        return [(e.merged, e.members) for e in self.entries]
+
+    def _name(self, gid: int) -> str:
+        return f"shared_{self.processor}_{gid}"
+
+    def _fold(self, entry: SharedGroupEntry) -> None:
+        entry.merged = merge_all(entry.members, name=self._name(entry.gid))
+
+    def add(self, query: Query) -> Tuple[SharedGroupEntry, List[SharedGroupEntry]]:
+        """Add (or re-declare) a query.
+
+        Returns ``(entry, retired)``: the entry now executing the query,
+        plus every entry this add retired -- the previous home of a
+        re-declared query that emptied, and any group the widened merged
+        query absorbed.  Re-declaring a name replaces the old member, so
+        the fold can *narrow* filters/windows the stale version forced.
+        Note: if a re-declared query lands in a *different* group, the
+        old group survives re-folded but is not reported -- a deployment
+        layer that installs merged plans should withdraw the old
+        declaration first (``SharingDeployment.deploy`` does) so the
+        narrowed survivor is reinstalled.
+        """
+        retired: List[SharedGroupEntry] = []
+        if query.name:
+            retired.extend(self.remove(query.name)[1])
+        home: Optional[SharedGroupEntry] = None
+        for entry in self.entries:
+            if mergeable(entry.merged, query):
+                entry.members.append(query)
+                self._fold(entry)
+                home = entry
+                break
+        if home is None:
+            home = SharedGroupEntry(gid=self._next_gid, merged=query, members=[query])
+            self._next_gid += 1
+            self._fold(home)
+            self.entries.append(home)
+        # collapse: a widened merged query can become mergeable with other
+        # groups; absorb them so each query class runs exactly once
+        absorbed = True
+        while absorbed:
+            absorbed = False
+            for other in self.entries:
+                if other is home:
+                    continue
+                if mergeable(home.merged, other.merged):
+                    home.members.extend(other.members)
+                    self._fold(home)
+                    self.entries.remove(other)
+                    retired.append(other)
+                    absorbed = True
+                    break
+        return home, retired
+
+    def remove(
+        self, name: str
+    ) -> Tuple[Optional[SharedGroupEntry], List[SharedGroupEntry]]:
+        """Remove the member called ``name`` and re-fold its group.
+
+        Returns ``(entry, retired)``: the member's (re-merged) group, or
+        ``None`` with the emptied group in ``retired``.  Unknown names
+        are a no-op.
+        """
+        for entry in self.entries:
+            kept = [m for m in entry.members if m.name != name]
+            if len(kept) == len(entry.members):
+                continue
+            if not kept:
+                self.entries.remove(entry)
+                return None, [entry]
+            entry.members = kept
+            self._fold(entry)
+            return entry, []
+        return None, []
+
+    def entry_of(self, name: str) -> Optional[SharedGroupEntry]:
+        for entry in self.entries:
+            if any(m.name == name for m in entry.members):
+                return entry
+        return None
 
     def executed_queries(self) -> List[Query]:
-        return [merged for merged, _ in self.groups]
+        return [e.merged for e in self.entries]
 
     def subscriptions(self, stream_namer) -> List[Tuple[Query, Subscription]]:
         """Per original query: its split subscription.
 
-        ``stream_namer(group_index)`` names each merged result stream.
+        ``stream_namer(gid)`` names each merged result stream.
         """
         out: List[Tuple[Query, Subscription]] = []
-        for i, (merged, members) in enumerate(self.groups):
-            stream = stream_namer(i)
-            for original in members:
+        for entry in self.entries:
+            stream = stream_namer(entry.gid)
+            for original in entry.members:
                 out.append(
-                    (original, split_subscription(merged, original, stream))
+                    (original, split_subscription(entry.merged, original, stream))
                 )
         return out

@@ -132,16 +132,31 @@ class ScenarioParams:
     #: traces, results, link traffic and cpu_costs must be identical
     #: either way)
     use_batches: bool = True
+    #: shared multi-query execution (Section 2): per-processor groups of
+    #: overlapping queries execute ONE merged superset plan, with
+    #: ``p^1`` source subscriptions carrying the merged filters for early
+    #: dropping and per-member ``p^2`` split subscriptions carving each
+    #: user's results out of the group result stream at the proxies.
+    #: ``False`` (the default) is the unshared plane, bit-identical to
+    #: the pre-sharing simulator; ``True`` must still deliver exactly the
+    #: per-user-query results of the single-engine oracle.
+    use_sharing: bool = False
 
 
 @dataclass
 class _QueryState:
-    """Runtime state of one query inside the cluster."""
+    """Runtime state of one query inside the cluster.
+
+    On the shared plane (``use_sharing=True``) a query does not own a
+    plan or a source subscription -- its group does -- so ``sub``/``plan``
+    stay ``None`` and the sharing fields at the bottom point at the
+    group and the member's ``p^2`` result subscription instead.
+    """
 
     simq: SimQuery
     host: int
-    sub: Subscription
-    plan: QueryPlan
+    sub: Optional[Subscription]
+    plan: Optional[QueryPlan]
     #: reordering slack: worst input-path delay (seconds)
     slack: float
     #: release time assigned to the latest delivered tuple (monotone)
@@ -176,10 +191,73 @@ class _QueryState:
     #: paths sum floats in one canonical order
     lat_sum: float = 0.0
     lat_max: float = 0.0
+    #: shared plane: the group this member executes in
+    group: Optional[int] = None
+    #: shared plane: the member's ``p^2`` split result subscription
+    result_sub: Optional[Subscription] = None
+    #: shared plane: when the member joined (its carve's lower time bound)
+    added_at: float = 0.0
 
     @property
     def name(self) -> str:
         return self.simq.name
+
+    @property
+    def substreams(self) -> Tuple[int, ...]:
+        """Input substreams (delivery units expose these uniformly)."""
+        return self.simq.substreams
+
+
+@dataclass
+class _GroupState:
+    """One shared group: the delivery unit of the shared data plane.
+
+    Carries exactly the release/drain machinery a :class:`_QueryState`
+    carries on the unshared plane (the event-loop delivery code treats
+    either as its "unit"), plus the merged plan and the subscription
+    bookkeeping of the group.  All members of a group read the *same*
+    streams (mergeability requires aligned bindings), so one reordering
+    slack and one release chain serve the whole group.
+    """
+
+    gid: int
+    host: int
+    #: the merged superset query the plan executes.  Monotone: it only
+    #: ever *widens* (member joins widen the plan in place; member
+    #: departures must not narrow it, because the join-window state the
+    #: survivors still need was built under the wide version).
+    executed: Query
+    plan: QueryPlan
+    result_stream: str
+    #: current advertisement of ``result_stream`` (re-issued on migration)
+    adv: object
+    #: live member query ids, join order
+    members: List[int] = field(default_factory=list)
+    #: every query id that ever executed here (CPU attribution at report)
+    all_members: List[int] = field(default_factory=list)
+    #: input substreams, founder binding order
+    substreams: Tuple[int, ...] = ()
+    streams: Tuple[str, ...] = ()
+    #: installed ``p^1`` source subscriptions (merged filters)
+    p1_subs: List[Subscription] = field(default_factory=list)
+    slack: float = 0.0
+    last_release: float = 0.0
+    last_release_floor: float = 0.0
+    ready: float = 0.0
+    pending: Deque[StreamTuple] = field(default_factory=deque)
+    pending_rel: List[Tuple[float, int, StreamTuple, float]] = field(
+        default_factory=list
+    )
+    drain_at: float = float("-inf")
+    alive: bool = True
+    detached: bool = False
+    #: engine CPU counter snapshots (per-group; shares attributed to members)
+    cpu_at_sample: int = 0
+    cpu_at_adapt: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.plan.query.name
 
 
 @dataclass
@@ -197,8 +275,15 @@ class SimReport:
     actions: Optional[List[Tuple[str, object]]] = None
     #: final per-link data traffic, only when ``record=True``
     link_bytes: Optional[Dict[Tuple[int, int], float]] = None
-    #: final per-query engine CPU counters, only when ``record=True``
-    cpu_costs: Optional[Dict[int, int]] = None
+    #: final per-query engine CPU counters, only when ``record=True``.
+    #: On the shared plane these are per-group totals attributed equally
+    #: to every query that ever executed in the group (floats).
+    cpu_costs: Optional[Dict[int, float]] = None
+    #: user queries submitted over the whole run
+    user_queries: int = 0
+    #: plans that actually executed: equals ``user_queries`` on the
+    #: unshared plane, the number of shared groups with ``use_sharing``
+    executed_queries: int = 0
 
 
 class SimCluster:
@@ -252,6 +337,33 @@ class SimCluster:
         }
         self.queries: Dict[int, _QueryState] = {}
         self._by_sub: Dict[int, int] = {}
+        #: shared plane state.  Source deliveries resolve through
+        #: ``_by_sub`` to a *delivery unit* id -- a query id on the
+        #: unshared plane, a group id (``_by_sub`` maps ``p^1`` sub ids)
+        #: on the shared one -- and ``_units`` is the matching dict, so
+        #: the release/drain machinery is identical on both planes.
+        self._sharing = params.use_sharing
+        self.groups: Dict[int, _GroupState] = {}
+        self._units: Dict[int, object] = self.groups if self._sharing else self.queries
+        self._next_gid = 0
+        self._host_groups: Dict[int, List[int]] = {}
+        #: ``p^2`` result subscription id -> member query id
+        self._by_result_sub: Dict[int, int] = {}
+        #: group id -> member query ids with an installed ``p^2`` sub
+        #: (join order; departed members linger until their carve drains)
+        self._res_listeners: Dict[int, List[int]] = {}
+        #: memoised dissemination routes (shared plane): per-row content
+        #: matching against every candidate subscription with per-link
+        #: traffic charged on the union of paths to the accepting nodes
+        #: -- the exact deliveries and byte counts of the hop-by-hop
+        #: walk, minus the per-event tree traversal.  ``_route_fast``
+        #: stays on; the parity tests flip it to pin the equivalence.
+        self._route_fast = True
+        #: substream -> (network version, [(host, compiled matcher, gid)])
+        self._src_route: Dict[int, Tuple[int, List[Tuple[int, object, int]]]] = {}
+        self._edge_paths: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        #: sub_id -> compiled membership test (fast path of Filter.matches)
+        self._match_fns: Dict[int, object] = {}
         self._pindex = {p: i for i, p in enumerate(self.processors)}
         self._path_ms: Dict[Tuple[int, int], float] = {}
         self._emit_gen: List[int] = [0] * len(space)
@@ -299,6 +411,8 @@ class SimCluster:
     # ------------------------------------------------------------------
     def add_query(self, simq: SimQuery, host: int) -> _QueryState:
         """Install a query on its host engine and subscribe its inputs."""
+        if self._sharing:
+            return self._shared_add(simq, host)
         # the new subscription changes routing tables: coalesced batches
         # emitted under the old tables must be published first
         self._flush_batches()
@@ -321,6 +435,313 @@ class SimCluster:
             self.actions.append(("add", simq))
         return qs
 
+    # ------------------------------------------------------------------
+    # shared plane: group lifecycle
+    # ------------------------------------------------------------------
+    def _shared_add(self, simq: SimQuery, host: int) -> _QueryState:
+        """Install a query into a shared group on ``host``.
+
+        The query joins the first live group on its host it is mergeable
+        with (widening the group's plan *in place*, so existing window
+        state survives) or founds a new one.  The member's ``p^2`` split
+        subscription carves its results out of the group result stream at
+        its proxy; the carve carries a lower time bound at ``now`` so the
+        member never receives results derived from inputs that predate it
+        (its own freshly-compiled plan would have started with empty
+        windows -- the single-engine oracle semantics).
+        """
+        from ..query.merging import merge_all, merge_queries, mergeable, split_subscription
+
+        self._flush_batches()
+        now = self.loop.now
+        replaced = 0
+        gs: Optional[_GroupState] = None
+        for gid in self._host_groups.get(host, ()):
+            cand = self.groups[gid]
+            if cand.alive and mergeable(cand.executed, simq.ast):
+                gs = cand
+                break
+        if gs is None:
+            gs = self._found_group(simq, host)
+        else:
+            widened = merge_queries(gs.executed, simq.ast, name=gs.name)
+            gs.plan.widen_to(widened)
+            gs.executed = widened
+            gs.members.append(simq.query_id)
+            gs.all_members.append(simq.query_id)
+            # merged filters may have weakened: replace the p^1 set (old
+            # set torn down first) and repair covering holes the
+            # teardown opened for other groups on the same streams.  The
+            # filters track the *live* members' hull -- tighter than the
+            # monotone executed query whenever departures narrowed it
+            self._install_p1(
+                gs,
+                query=merge_all(
+                    [self.queries[qid].simq.ast for qid in gs.members[:-1]]
+                    + [simq.ast],
+                    name=gs.name,
+                ),
+            )
+            # existing members' carves were built against the previous
+            # merged query; windows that just grew past a member's own
+            # window need a (new) timestamp_lag band, so recompute them.
+            # Once the group's hull stabilises the recomputed carve is
+            # unchanged and the member keeps its installed subscription.
+            for qid in gs.members[:-1]:
+                mqs = self.queries[qid]
+                carve = split_subscription(
+                    gs.executed, mqs.simq.ast, gs.result_stream,
+                    emitted_after=mqs.added_at,
+                )
+                old = mqs.result_sub
+                if (
+                    old is not None
+                    and old.streams == carve.streams
+                    and old.projection == carve.projection
+                    and old.filter == carve.filter
+                ):
+                    continue
+                self._replace_result_sub(mqs, carve)
+                replaced += 1
+        qs = _QueryState(
+            simq=simq,
+            host=host,
+            sub=None,
+            plan=None,
+            slack=gs.slack,
+            last_release=now,
+            last_release_floor=now,
+            group=gs.gid,
+            added_at=now,
+        )
+        self.queries[simq.query_id] = qs
+        self._replace_result_sub(
+            qs,
+            split_subscription(
+                gs.executed, simq.ast, gs.result_stream, emitted_after=now
+            ),
+        )
+        # replacing subscriptions tears old ones down one at a time; when
+        # that happened, one forced pass over the group's installed p^2
+        # set (departed members' capped carves included -- they listen
+        # until their drain) closes any covering hole a removal opened
+        if replaced:
+            for qid in self._res_listeners.get(gs.gid, ()):
+                mqs = self.queries[qid]
+                self.network.subscribe(
+                    mqs.simq.spec.proxy, mqs.result_sub, force=True
+                )
+        if self.actions is not None:
+            self.actions.append(("add", simq))
+        return qs
+
+    def _found_group(self, simq: SimQuery, host: int) -> _GroupState:
+        """Create a fresh group executing ``simq`` alone."""
+        from ..pubsub.subscriptions import Advertisement
+        from ..query.ast import Query as QueryAst
+
+        gid = self._next_gid
+        self._next_gid += 1
+        name = f"shared_g{gid}"
+        executed = QueryAst(
+            select=simq.ast.select,
+            bindings=simq.ast.bindings,
+            where=simq.ast.where,
+            name=name,
+        )
+        result_stream = f"shared::{gid}"
+        engine = self.engines[host]
+        plan = engine.add_query(executed, result_stream=result_stream)
+        adv = Advertisement(stream=result_stream)
+        self.network.advertise(host, adv)
+        gs = _GroupState(
+            gid=gid,
+            host=host,
+            executed=executed,
+            plan=plan,
+            result_stream=result_stream,
+            adv=adv,
+            members=[simq.query_id],
+            all_members=[simq.query_id],
+            substreams=simq.substreams,
+            streams=simq.streams,
+            slack=self._slack(simq, host),
+            last_release=self.loop.now,
+            last_release_floor=self.loop.now,
+        )
+        self.groups[gid] = gs
+        self._host_groups.setdefault(host, []).append(gid)
+        self._install_p1(gs)
+        return gs
+
+    def _install_p1(self, gs: _GroupState, query=None) -> None:
+        """(Re)install a group's ``p^1`` set; old subscriptions go first.
+
+        ``query`` defaults to the group's executed query; departures pass
+        the survivors' (narrower) hull instead.  Leaving the stale set
+        installed would accumulate subscriptions on the processor forever
+        and, whenever a re-merge narrows the hull, keep pulling tuples
+        nobody needs.  The teardown can open covering holes for other
+        groups' subscriptions on the same streams, so they are repaired
+        by forced re-propagation.  A re-merge that leaves every filter
+        where it was (the common case once a group's hull stabilises) is
+        a no-op: nothing is torn down, so nothing needs repair.
+        """
+        from ..query.merging import source_subscriptions
+
+        fresh = source_subscriptions(query if query is not None else gs.executed)
+        if len(fresh) == len(gs.p1_subs) and all(
+            old.streams == new.streams
+            and old.projection == new.projection
+            and old.filter == new.filter
+            for old, new in zip(gs.p1_subs, fresh)
+        ):
+            return
+        had_old = bool(gs.p1_subs)
+        touched = set(gs.streams)
+        for sub in gs.p1_subs:
+            self.network.unsubscribe(sub.sub_id)
+            self._by_sub.pop(sub.sub_id, None)
+            self._match_fns.pop(sub.sub_id, None)
+        gs.p1_subs = fresh
+        for sub in gs.p1_subs:
+            self.network.subscribe(gs.host, sub)
+            self._by_sub[sub.sub_id] = gs.gid
+        if had_old:
+            self._refresh_subscriptions(streams=touched)
+
+    def _replace_result_sub(self, qs: _QueryState, sub: Subscription) -> None:
+        """Swap a member's ``p^2`` subscription for ``sub`` at its proxy."""
+        if qs.result_sub is not None:
+            self.network.unsubscribe(qs.result_sub.sub_id)
+            self._by_result_sub.pop(qs.result_sub.sub_id, None)
+            self._match_fns.pop(qs.result_sub.sub_id, None)
+        qs.result_sub = sub
+        self._by_result_sub[sub.sub_id] = qs.simq.query_id
+        listeners = self._res_listeners.setdefault(qs.group, [])
+        if qs.simq.query_id not in listeners:
+            listeners.append(qs.simq.query_id)
+        self.network.subscribe(qs.simq.spec.proxy, sub)
+
+    def _shared_remove(self, query_id: int) -> None:
+        """Member departure on the shared plane.
+
+        The member's carve gets an upper time bound at ``now`` (results
+        derived from later inputs belong only to the survivors), its
+        group's membership shrinks -- the merged plan itself stays wide:
+        narrowing it would rebuild operators and lose the window state
+        the survivors still need -- and the ``p^1`` filters narrow to the
+        survivors' hull.  The capped subscription is finally torn down
+        once every input emitted before the departure has drained.
+        """
+        from ..query.merging import merge_all, split_subscription
+
+        qs = self.queries[query_id]
+        if not qs.alive:
+            return
+        self._flush_batches()
+        now = self.loop.now
+        qs.alive = False
+        if self.actions is not None:
+            self.actions.append(("remove", qs.simq))
+        gs = self.groups[qs.group]
+        self._replace_result_sub(
+            qs,
+            split_subscription(
+                gs.executed, qs.simq.ast, gs.result_stream,
+                emitted_after=qs.added_at, emitted_before=now,
+            ),
+        )
+        # the cap tore the member's old subscription down: repair any
+        # covering hole that opened for the group's other listeners
+        for qid in self._res_listeners.get(gs.gid, ()):
+            if qid == query_id:
+                continue
+            lqs = self.queries[qid]
+            self.network.subscribe(
+                lqs.simq.spec.proxy, lqs.result_sub, force=True
+            )
+        gs.members.remove(query_id)
+        if gs.members:
+            # p^1 filters narrow to the survivors' hull; the plan's own
+            # (wider) select keeps running -- tuples the narrowed filters
+            # drop cannot contribute to any survivor's carved results
+            survivors = merge_all(
+                [self.queries[qid].simq.ast for qid in gs.members],
+                name=gs.name,
+            )
+            self._install_p1(gs, query=survivors)
+            self.loop.schedule(
+                max(now, gs.last_release),
+                partial(self._shared_detach_member, query_id),
+            )
+        else:
+            # last member out: the group retires with it
+            gs.alive = False
+            for sub in gs.p1_subs:
+                self.network.unsubscribe(sub.sub_id)
+                self._by_sub.pop(sub.sub_id, None)
+                self._match_fns.pop(sub.sub_id, None)
+            gs.p1_subs = []
+            self._refresh_subscriptions(streams=set(gs.streams))
+            self.loop.schedule(
+                max(now, gs.last_release),
+                partial(self._shared_detach_group, gs.gid),
+            )
+            self.loop.schedule(
+                max(now, gs.last_release),
+                partial(self._shared_detach_member, query_id),
+            )
+
+    def _shared_detach_member(self, query_id: int) -> None:
+        """Finish a member departure once its group drained.
+
+        Mirrors :meth:`_detach`: inputs emitted before the departure may
+        still sit in the group's pending buffers when a migration pause
+        pushed their release events to this very instant but behind this
+        event in the queue -- deliver them first (later inputs ride along
+        early; the departed member's upper time bound keeps them out of
+        its carve, and survivors receive identical content either way).
+        """
+        qs = self.queries[query_id]
+        if qs.detached:
+            return
+        gs = self.groups[qs.group]
+        if not gs.detached:
+            self._drain_unit_completely(gs)
+        qs.detached = True
+        if qs.result_sub is not None:
+            self.network.unsubscribe(qs.result_sub.sub_id)
+            self._by_result_sub.pop(qs.result_sub.sub_id, None)
+            self._match_fns.pop(qs.result_sub.sub_id, None)
+            qs.result_sub = None
+        listeners = self._res_listeners.get(qs.group)
+        if listeners and query_id in listeners:
+            listeners.remove(query_id)
+
+    def _shared_detach_group(self, gid: int) -> None:
+        """Tear a retired group down after its drain: deliver what is in
+        flight, remove the merged plan, retire the result stream."""
+        gs = self.groups[gid]
+        if gs.detached:
+            return
+        self._drain_unit_completely(gs)
+        gs.detached = True
+        self.engines[gs.host].remove_query(gs.name)
+        self.network.unadvertise(gs.adv.adv_id)
+        host_list = self._host_groups.get(gs.host)
+        if host_list and gid in host_list:
+            host_list.remove(gid)
+
+    def _drain_unit_completely(self, unit) -> None:
+        """Deliver everything pending on a unit, releases regardless."""
+        while unit.pending:
+            self._deliver_now(unit, unit.pending.popleft())
+        if unit.pending_rel:
+            rows = [(t, self.loop.now) for _, _, t, _ in unit.pending_rel]
+            unit.pending_rel.clear()
+            self._deliver_rows(unit, rows)
+
     def remove_query(self, query_id: int) -> None:
         """Query departure: stop deliveries now, detach after the drain.
 
@@ -329,6 +750,9 @@ class SimCluster:
         has been processed, so the distributed run emits exactly the
         results a single-engine oracle does for the same action order.
         """
+        if self._sharing:
+            self._shared_remove(query_id)
+            return
         qs = self.queries[query_id]
         if not qs.alive:
             return
@@ -372,8 +796,19 @@ class SimCluster:
         identical earlier one made redundant; when that earlier one is
         torn down (migration, departure) the pruned path must be
         re-announced.  Re-subscribing is idempotent, so this simply fills
-        the gaps the removal opened.
+        the gaps the removal opened.  On the shared plane the live source
+        subscriptions are the groups' ``p^1`` sets.
         """
+        if self._sharing:
+            for gid in sorted(self.groups):
+                gs = self.groups[gid]
+                if not gs.alive:
+                    continue
+                if streams is not None and not (streams & set(gs.streams)):
+                    continue
+                for sub in gs.p1_subs:
+                    self.network.subscribe(gs.host, sub, force=True)
+            return
         for qs in self.queries.values():
             if not qs.alive:
                 continue
@@ -407,6 +842,58 @@ class SimCluster:
         # release chain restarts from the bumped value
         qs.last_release_floor = qs.last_release
         self.migrations += 1
+        return state_tuples
+
+    def _migrate_group(self, gid: int, new_host: int) -> float:
+        """Move a whole shared group -- plan, state, subscriptions.
+
+        A merged plan is one unit of window state: its members execute
+        together or not at all, so adaptation moves the group wholesale.
+        The result stream is re-homed (old advertisement retired, a fresh
+        one flooded from the new host) and every member's ``p^2``
+        subscription re-propagates toward it with ``force=True``; the
+        handoff pauses the *group's* deliveries, exactly like a
+        single-query migration pauses one query.
+        """
+        from ..pubsub.subscriptions import Advertisement
+
+        gs = self.groups[gid]
+        old = gs.host
+        plan = self.engines[old].remove_query(gs.name)
+        self.engines[new_host].adopt_plan(plan)
+        for sub in gs.p1_subs:
+            self.network.unsubscribe(sub.sub_id)
+            self._by_sub.pop(sub.sub_id, None)
+        gs.host = new_host
+        for sub in gs.p1_subs:
+            self.network.subscribe(new_host, sub)
+            self._by_sub[sub.sub_id] = gid
+        self.network.unadvertise(gs.adv.adv_id)
+        gs.adv = Advertisement(stream=gs.result_stream)
+        self.network.advertise(new_host, gs.adv)
+        for qid in gs.members:
+            mqs = self.queries[qid]
+            mqs.host = new_host
+            self.network.subscribe(
+                mqs.simq.spec.proxy, mqs.result_sub, force=True
+            )
+        gs.slack = max(
+            self._path_latency_ms(int(self.space.source_of[sid]), new_host)
+            for sid in gs.substreams
+        ) / 1000.0
+        state_tuples = float(plan.state_size())
+        lat_ms = self.network.account_path(old, new_host, max(1.0, state_tuples))
+        handoff_s = (
+            lat_ms + state_tuples * self.params.handoff_ms_per_tuple
+        ) / 1000.0
+        gs.ready = self.loop.now + handoff_s
+        gs.last_release = max(gs.last_release, gs.ready)
+        gs.last_release_floor = gs.last_release
+        self.migrations += 1
+        host_list = self._host_groups.get(old)
+        if host_list and gid in host_list:
+            host_list.remove(gid)
+        self._host_groups.setdefault(new_host, []).append(gid)
         return state_tuples
 
     # ------------------------------------------------------------------
@@ -473,6 +960,9 @@ class SimCluster:
         ``max(ts + slack, last_release at publish)`` for every row, so
         computing them batch-at-a-time yields the scalar values.
         """
+        if self._sharing:
+            self._publish_rows_shared(sid, rows)
+            return
         source = int(self.space.source_of[sid])
         if self._batching:
             deliveries = self.network.publish_batch(
@@ -511,6 +1001,181 @@ class SimCluster:
                 qs.drain_at = when
                 self.loop.schedule(when, partial(self._drain_query, query_id))
 
+    def _edges(self, u: int, v: int) -> List[Tuple[int, int]]:
+        """Overlay path ``u -> v`` as normalised edge keys, memoised."""
+        if u == v:
+            return []
+        key = (u, v)
+        edges = self._edge_paths.get(key)
+        if edges is None:
+            path = self.network.tree.path(u, v)
+            edges = [
+                (a, b) if a < b else (b, a) for a, b in zip(path, path[1:])
+            ]
+            self._edge_paths[key] = edges
+            self._edge_paths[(v, u)] = edges
+        return edges
+
+    def _charge_union(self, source: int, nodes: List[int], size: float) -> None:
+        """Charge ``size`` bytes on the union of paths ``source -> nodes``.
+
+        An event crosses an overlay link exactly when some matching
+        subscriber lies beyond it, i.e. on the union of the tree paths to
+        the accepting nodes -- the same links (each once) the hop-by-hop
+        forwarding walk would charge.
+        """
+        book = self.network.link_bytes
+        if len(nodes) == 1:
+            for edge in self._edges(source, nodes[0]):
+                book[edge] = book.get(edge, 0.0) + size
+            return
+        union = set()
+        for node in nodes:
+            union.update(self._edges(source, node))
+        for edge in union:
+            book[edge] = book.get(edge, 0.0) + size
+
+    def _matcher(self, sub: Subscription):
+        """A compiled equivalent of ``sub.filter.matches``, memoised.
+
+        The shared plane evaluates subscription filters once per result
+        per listener and once per source row per candidate group -- the
+        hottest per-event work left after routing is memoised.  Filters
+        here are conjunctions of numeric interval bounds, which compile
+        to a flat tuple walk; anything fancier (memberships, exclusions,
+        non-numeric values) falls back to the exact generic evaluator.
+        """
+        fn = self._match_fns.get(sub.sub_id)
+        if fn is not None:
+            return fn
+        filt = sub.filter
+        tests = []
+        simple = not filt.is_empty()
+        for attr, rng in filt.ranges().items():
+            if rng.membership is not None or rng.exclusions:
+                simple = False
+                break
+            tests.append(
+                (attr, rng.low, rng.low_inclusive, rng.high, rng.high_inclusive)
+            )
+        if not simple:
+            fn = filt.matches
+        else:
+            def fn(values, _tests=tuple(tests), _fallback=filt.matches):
+                try:
+                    for attr, low, low_inc, high, high_inc in _tests:
+                        v = values.get(attr)
+                        if v is None:
+                            return False
+                        if v < low or (v == low and not low_inc):
+                            return False
+                        if v > high or (v == high and not high_inc):
+                            return False
+                    return True
+                except TypeError:
+                    # non-numeric value against a numeric bound: the
+                    # generic evaluator defines the semantics
+                    return _fallback(values)
+        self._match_fns[sub.sub_id] = fn
+        return fn
+
+    def _src_candidates(self, sid: int) -> List[Tuple[int, Subscription, int]]:
+        """Groups whose ``p^1`` set requests substream ``sid``'s stream.
+
+        Memoised against the network's control-plane version: the
+        candidate set only changes when subscriptions change.
+        """
+        route = self._src_route.get(sid)
+        if route is not None and route[0] == self.network.version:
+            return route[1]
+        stream = stream_name(sid)
+        cands: List[Tuple[int, Subscription, int]] = []
+        for gid in sorted(self.groups):
+            gs = self.groups[gid]
+            if not gs.alive:
+                continue
+            for sub in gs.p1_subs:
+                if stream in sub.streams:
+                    cands.append((gs.host, self._matcher(sub), gid))
+        self._src_route[sid] = (self.network.version, cands)
+        return cands
+
+    def _publish_rows_shared(self, sid: int, rows: List[Tuple[int, StreamTuple]]) -> None:
+        """Publish one substream's rows on the shared plane.
+
+        The groups' ``p^1`` subscriptions carry content filters (the
+        merged selection hulls), so every row is matched individually
+        against them -- early dropping *is* per-row content matching; an
+        attribute-free representative batch event would defeat it.  On
+        the (default) memoised route, each row is matched against the
+        cached candidate set and charged on the union of overlay paths to
+        its accepting hosts -- delivery-and-byte identical to routing the
+        row through :meth:`PubSubNetwork.publish`, which stays available
+        as the reference (``_route_fast=False``, pinned by the parity
+        tests).  The batch plane still wins engine-side: a coalesced
+        buffer's surviving rows reach each group through its sorted
+        pending list and drain as TupleBatch pushes.
+        """
+        source = int(self.space.source_of[sid])
+        per_unit: Dict[int, List[Tuple[int, StreamTuple]]] = {}
+        order: List[int] = []
+        if self._route_fast:
+            cands = self._src_candidates(sid)
+            charges: Dict[Tuple[int, ...], int] = {}
+            for seq, tup in rows:
+                accepted: List[int] = []
+                for host, matches, gid in cands:
+                    if not matches(tup.values):
+                        continue
+                    bucket = per_unit.get(gid)
+                    if bucket is None:
+                        per_unit[gid] = bucket = []
+                        order.append(gid)
+                    bucket.append((seq, tup))
+                    accepted.append(host)
+                if accepted:
+                    key = tuple(accepted)
+                    charges[key] = charges.get(key, 0) + 1
+            # rows with one accepting set charge once with the row count:
+            # all sizes are integral, so the float totals are exactly the
+            # per-row sums the hop-by-hop walk accumulates
+            for key, count in charges.items():
+                self._charge_union(source, list(key), float(count))
+        else:
+            for seq, tup in rows:
+                event = Event(stream=tup.stream, attributes=tup.values, size=1.0)
+                for _node, _ev, sub in self.network.publish(source, event):
+                    gid = self._by_sub.get(sub.sub_id)
+                    if gid is None:
+                        continue
+                    bucket = per_unit.get(gid)
+                    if bucket is None:
+                        per_unit[gid] = bucket = []
+                        order.append(gid)
+                    bucket.append((seq, tup))
+        if self._batching:
+            self.batch_publishes += 1
+        for gid in order:
+            gs = self.groups[gid]
+            unit_rows = per_unit[gid]
+            if not self._batching:
+                (seq, tup) = unit_rows[0]
+                release = max(tup.timestamp + gs.slack, gs.last_release)
+                gs.last_release = release
+                gs.pending.append(tup)
+                self.loop.schedule(release, partial(self._release_one, gid))
+                continue
+            release_last = 0.0
+            for seq, tup in unit_rows:
+                release = max(tup.timestamp + gs.slack, gs.last_release_floor)
+                gs.last_release = max(gs.last_release, release)
+                bisect.insort(gs.pending_rel, (tup.timestamp, seq, tup, release))
+                release_last = release
+            when = max(release_last, self.loop.now)
+            if when > gs.drain_at:
+                gs.drain_at = when
+                self.loop.schedule(when, partial(self._drain_query, gid))
+
     def _flush_substream(self, sid: int) -> None:
         """Publish a substream's coalesced rows as one batch."""
         rows = self._src_pending[sid]
@@ -534,29 +1199,29 @@ class SimCluster:
         for sid in range(len(self._src_pending)):
             if self._src_pending[sid]:
                 self._flush_substream(sid)
-        for query_id in sorted(self.queries):
-            qs = self.queries[query_id]
+        for unit_id in sorted(self._units):
+            qs = self._units[unit_id]
             if not qs.detached and qs.pending_rel:
                 self._drain_ready(qs)
 
-    def _release_one(self, query_id: int) -> None:
-        """Deliver the oldest pending tuple of a query to its plan.
+    def _release_one(self, unit_id: int) -> None:
+        """Deliver the oldest pending tuple of a unit to its plan.
 
-        Pending tuples form a FIFO per query, so deliveries happen in
-        emission order even when a migration's handoff pause reschedules
-        release events.
+        Pending tuples form a FIFO per delivery unit (query, or shared
+        group), so deliveries happen in emission order even when a
+        migration's handoff pause reschedules release events.
         """
-        qs = self.queries[query_id]
+        qs = self._units[unit_id]
         if qs.detached or not qs.pending:
             return
         if self.loop.now < qs.ready:
-            self.loop.schedule(qs.ready, partial(self._release_one, query_id))
+            self.loop.schedule(qs.ready, partial(self._release_one, unit_id))
             return
         self._deliver_now(qs, qs.pending.popleft())
 
-    def _drain_query(self, query_id: int) -> None:
-        """Deliver a query's released batch rows (batch plane)."""
-        qs = self.queries.get(query_id)
+    def _drain_query(self, unit_id: int) -> None:
+        """Deliver a unit's released batch rows (batch plane)."""
+        qs = self._units.get(unit_id)
         if qs is None or qs.detached:
             return
         if self.loop.now >= qs.drain_at:
@@ -567,7 +1232,7 @@ class SimCluster:
             if qs.ready > qs.drain_at:
                 qs.drain_at = qs.ready
                 self.loop.schedule(
-                    qs.ready, partial(self._drain_query, query_id)
+                    qs.ready, partial(self._drain_query, unit_id)
                 )
             return
         # a two-input query must consume its inputs in timestamp order:
@@ -575,12 +1240,12 @@ class SimCluster:
         # in a coalescing buffer (their flush is later) -- publish them
         # first so pending_rel holds every row that can precede the
         # released prefix (flushing early is always safe)
-        for sid in qs.simq.substreams:
+        for sid in qs.substreams:
             if self._src_pending[sid]:
                 self._flush_substream(sid)
         self._drain_ready(qs)
 
-    def _drain_ready(self, qs: _QueryState) -> None:
+    def _drain_ready(self, qs) -> None:
         """Deliver the prefix of ``pending_rel`` whose release has come.
 
         Each row is accounted at ``max(release, ready)`` -- exactly when
@@ -602,7 +1267,7 @@ class SimCluster:
         self._deliver_rows(qs, rows)
 
     def _deliver_rows(
-        self, qs: _QueryState, rows: List[Tuple[StreamTuple, float]]
+        self, qs, rows: List[Tuple[StreamTuple, float]]
     ) -> None:
         """Deliver (tuple, delivery-time) rows as same-stream batches.
 
@@ -636,19 +1301,108 @@ class SimCluster:
                     self._account_results(qs, tup, results, at)
             i = j
 
-    def _deliver_now(self, qs: _QueryState, tup: StreamTuple) -> None:
+    def _deliver_now(self, qs, tup: StreamTuple) -> None:
         """Push one tuple into a query's plan and account its results."""
         results = self.engines[qs.host].push_query(qs.name, tup)
         self._account_results(qs, tup, results, self.loop.now)
 
+    def _account_group_results(
+        self,
+        gs: _GroupState,
+        tup: StreamTuple,
+        results: List[StreamTuple],
+        at: float,
+    ) -> None:
+        """Publish a merged plan's results; members carve at their proxies.
+
+        Every result of the merged query is published on the group's
+        result stream through the real pub/sub network; each delivery is
+        one member's ``p^2`` subscription matching (residual selections,
+        window bands, lifetime span), and is accounted against *that*
+        member -- latency is the input's age at delivery plus the
+        host-to-proxy transit, traffic is charged per overlay link by the
+        publish itself.
+        """
+        if not results:
+            return
+        if self._route_fast:
+            host = gs.host
+            checks = []
+            for query_id in self._res_listeners.get(gs.gid, ()):
+                qs = self.queries[query_id]
+                checks.append((
+                    qs,
+                    self._matcher(qs.result_sub),
+                    qs.result_sub.projection,
+                    qs.simq.spec.proxy,
+                    self._path_latency_ms(host, qs.simq.spec.proxy) / 1000.0,
+                ))
+            charges: Dict[Tuple[int, ...], int] = {}
+            base = at - tup.timestamp
+            for r in results:
+                values = r.values
+                accepted: List[int] = []
+                for qs, matches, projection, proxy, proxy_s in checks:
+                    if not matches(values):
+                        continue
+                    accepted.append(proxy)
+                    latency = base + proxy_s
+                    self._interval_results += 1
+                    qs.lat_sum += latency
+                    if latency > qs.lat_max:
+                        qs.lat_max = latency
+                    self.results_total += 1
+                    if self.record:
+                        delivered = (
+                            dict(values)
+                            if projection is None
+                            else {
+                                k: v for k, v in values.items()
+                                if k in projection
+                            }
+                        )
+                        qs.results.append(
+                            StreamTuple(gs.result_stream, delivered)
+                        )
+                if accepted:
+                    key = tuple(accepted)
+                    charges[key] = charges.get(key, 0) + 1
+            for key, count in charges.items():
+                self._charge_union(gs.host, list(key), float(count))
+            return
+        for r in results:
+            event = Event(
+                stream=gs.result_stream, attributes=dict(r.values), size=1.0
+            )
+            for node, delivered, sub in self.network.publish(gs.host, event):
+                query_id = self._by_result_sub.get(sub.sub_id)
+                if query_id is None:
+                    continue
+                qs = self.queries[query_id]
+                latency = (at - tup.timestamp) + (
+                    self._path_latency_ms(gs.host, node) / 1000.0
+                )
+                self._interval_results += 1
+                qs.lat_sum += latency
+                if latency > qs.lat_max:
+                    qs.lat_max = latency
+                self.results_total += 1
+                if self.record:
+                    qs.results.append(
+                        StreamTuple(delivered.stream, dict(delivered.attributes))
+                    )
+
     def _account_results(
         self,
-        qs: _QueryState,
+        qs,
         tup: StreamTuple,
         results: List[StreamTuple],
         at: float,
     ) -> None:
         """Account one delivered tuple's results (latency, proxy traffic)."""
+        if self._sharing:
+            self._account_group_results(qs, tup, results, at)
+            return
         if not results:
             return
         proxy = qs.simq.spec.proxy
@@ -713,8 +1467,30 @@ class SimCluster:
         )
 
     def _measured_loads(self, dt: float, counter: str) -> Dict[int, float]:
-        """Per-query loads from engine CPU counters since the last round."""
+        """Per-query loads from engine CPU counters since the last round.
+
+        On the shared plane the engine only meters merged plans, so each
+        group's CPU delta is attributed back to its live members in equal
+        shares -- the per-query numbers the optimizer's refresh
+        (Section 3.8) expects, measured on what actually executed.
+        """
         loads: Dict[int, float] = {}
+        if self._sharing:
+            for gid in sorted(self.groups):
+                gs = self.groups[gid]
+                cpu = gs.plan.cpu_cost()
+                delta = cpu - getattr(gs, counter)
+                setattr(gs, counter, cpu)
+                members = [
+                    qid for qid in gs.members
+                    if self.queries[qid].alive and not self.queries[qid].detached
+                ]
+                if not members:
+                    continue
+                share = delta / len(members) / dt
+                for qid in members:
+                    loads[qid] = share
+            return loads
         for query_id, qs in self.queries.items():
             if not qs.alive or qs.detached:
                 continue
@@ -747,13 +1523,37 @@ class SimCluster:
             moved = 0
             moved_state = 0.0
             moved_streams: set = set()
-            for query_id in loads:
-                qs = self.queries[query_id]
-                new_host = self.cosmos.placement.get(query_id)
-                if new_host is not None and new_host != qs.host:
-                    moved_state += self._migrate(query_id, new_host)
-                    moved += 1
-                    moved_streams.update(qs.simq.streams)
+            if self._sharing:
+                # a shared plan moves as one unit: the group follows the
+                # majority of its members' new placements (ties to the
+                # smallest host id), so the optimizer's per-query wishes
+                # steer groups without splitting their window state
+                for gid in sorted(self.groups):
+                    gs = self.groups[gid]
+                    if not gs.alive or not gs.members:
+                        continue
+                    votes: Dict[int, int] = {}
+                    for qid in gs.members:
+                        host = self.cosmos.placement.get(qid)
+                        if host is not None:
+                            votes[host] = votes.get(host, 0) + 1
+                    if not votes:
+                        continue
+                    target = min(
+                        votes, key=lambda h: (-votes[h], h)
+                    )
+                    if target != gs.host:
+                        moved_state += self._migrate_group(gid, target)
+                        moved += len(gs.members)
+                        moved_streams.update(gs.streams)
+            else:
+                for query_id in loads:
+                    qs = self.queries[query_id]
+                    new_host = self.cosmos.placement.get(query_id)
+                    if new_host is not None and new_host != qs.host:
+                        moved_state += self._migrate(query_id, new_host)
+                        moved += 1
+                        moved_streams.update(qs.simq.streams)
             if moved:
                 # only subscriptions overlapping a moved query's streams
                 # can have been left with coverage holes
@@ -949,10 +1749,20 @@ def run_scenario(
             for query_id, qs in cluster.queries.items()
         }
         link_bytes = dict(cluster.network.link_bytes)
-        cpu_costs = {
-            query_id: qs.plan.cpu_cost()
-            for query_id, qs in cluster.queries.items()
-        }
+        if scenario.use_sharing:
+            # the engine meters merged plans; attribute each group's
+            # total equally over every query that ever executed in it
+            cpu_costs = {}
+            for gid in sorted(cluster.groups):
+                gs = cluster.groups[gid]
+                share = gs.plan.cpu_cost() / max(1, len(gs.all_members))
+                for qid in gs.all_members:
+                    cpu_costs[qid] = cpu_costs.get(qid, 0.0) + share
+        else:
+            cpu_costs = {
+                query_id: qs.plan.cpu_cost()
+                for query_id, qs in cluster.queries.items()
+            }
     return SimReport(
         trace=cluster.trace,
         queries={qid: qs.simq for qid, qs in cluster.queries.items()},
@@ -963,6 +1773,10 @@ def run_scenario(
         actions=cluster.actions,
         link_bytes=link_bytes,
         cpu_costs=cpu_costs,
+        user_queries=len(cluster.queries),
+        executed_queries=(
+            len(cluster.groups) if scenario.use_sharing else len(cluster.queries)
+        ),
     )
 
 

@@ -64,6 +64,12 @@ class SimWorkloadParams:
     zipf_theta: float = 0.8
     #: QuerySpec.load = load_factor * input tuple rate
     load_factor: float = 1.0
+    #: restrict query interests to a pool of this many substreams (None =
+    #: the whole space).  The workload-overlap knob of the sharing
+    #: benchmarks: a small pool makes many queries read the same streams,
+    #: so per-processor result sharing can fold them into few merged
+    #: plans; substream *rates* and sources are untouched.
+    pool_substreams: Optional[int] = None
 
 
 @dataclass
@@ -110,13 +116,21 @@ class SimQueryFactory:
         self._next_id = 0
         n = len(space)
         self._perm = rng.permutation(n)
-        ranks = np.arange(1, n + 1, dtype=float)
+        #: queries draw from the first ``pool`` permutation ranks only;
+        #: the default (the whole space) leaves the rng draws -- and so
+        #: every previously generated workload -- unchanged
+        self._pool = n
+        if params.pool_substreams is not None:
+            if params.pool_substreams < 1:
+                raise ValueError("pool_substreams must be >= 1")
+            self._pool = min(n, params.pool_substreams)
+        ranks = np.arange(1, self._pool + 1, dtype=float)
         weights = ranks ** (-params.zipf_theta)
         self._popularity = weights / weights.sum()
 
     def _pick_substreams(self, k: int) -> List[int]:
         picks = self.rng.choice(
-            len(self.space), size=k, replace=False, p=self._popularity
+            self._pool, size=k, replace=False, p=self._popularity
         )
         return [int(self._perm[int(r)]) for r in picks]
 
@@ -126,7 +140,7 @@ class SimQueryFactory:
         self._next_id += 1
         p = self.params
         is_join = (
-            len(self.space) >= 2 and float(self.rng.random()) < p.join_fraction
+            self._pool >= 2 and float(self.rng.random()) < p.join_fraction
         )
         lo, hi = p.window_range
         threshold = int(

@@ -336,3 +336,76 @@ class TestResultSharing:
         direct4 = self._run(self.q4, "Q4")
         shared = self._run(self.q5, "Q5")
         assert len(shared) >= max(len(direct3), len(direct4))
+
+
+class TestPlanWidening:
+    """In-place plan widening: the shared plane's member-join mechanism."""
+
+    def setup_method(self):
+        self.q3 = parse_query(
+            "SELECT S2.* FROM Station1 [Range 30 Minutes] S1,"
+            " Station2 [Now] S2 WHERE S1.snowHeight > S2.snowHeight"
+            " AND S1.snowHeight >= 10",
+            name="Q3",
+        )
+        self.q4 = parse_query(
+            "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp"
+            " FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2"
+            " WHERE S1.snowHeight > S2.snowHeight",
+            name="Q4",
+        )
+        fleet = SensorFleet.build(2, stream_prefix="Station", seed=7)
+        self.trace = fleet.trace(start=0.0, steps=100)
+
+    def test_widened_plan_equals_merged_compile(self):
+        """Widening mid-stream keeps state and matches the merged query
+        for every tuple pushed after the widening point."""
+        widened = Engine()
+        plan = widened.add_query(self.q3, result_stream="out")
+        merged = merge_queries(self.q3, self.q4, name="Q3")
+        cut = len(self.trace) // 2
+        for t in self.trace[:cut]:
+            widened.push(t)
+        plan.widen_to(merged)
+        after_widen = []
+        for t in self.trace[cut:]:
+            after_widen.extend(widened.push(t))
+        # reference: the merged query compiled fresh and fed everything
+        reference = Engine()
+        reference.add_query(merge_queries(self.q3, self.q4, name="M"), result_stream="out")
+        ref_results = []
+        for i, t in enumerate(self.trace):
+            out = reference.push(t)
+            if i >= cut:
+                ref_results.extend(out)
+        # the widened plan's post-widen results that pair with post-widen
+        # partners must appear in the reference run (pre-widen partners
+        # outside Q3's windows are legitimately absent: they were never
+        # buffered under the narrow plan)
+        ref_values = [t.values for t in ref_results]
+        for r in after_widen:
+            assert r.values in ref_values
+
+    def test_window_specs_updated(self):
+        engine = Engine()
+        plan = engine.add_query(self.q3, result_stream="out")
+        merged = merge_queries(self.q3, self.q4, name="Q3")
+        plan.widen_to(merged)
+        assert plan.join.left_window.spec.seconds == 3600
+        # the weakened selection hull dropped the >= 10 constraint
+        assert plan.selects["S1"].predicates == []
+        assert plan.query is merged
+
+    def test_rejects_name_change(self):
+        engine = Engine()
+        plan = engine.add_query(self.q3, result_stream="out")
+        with pytest.raises(ValueError):
+            plan.widen_to(merge_queries(self.q3, self.q4, name="other"))
+
+    def test_rejects_narrowing(self):
+        engine = Engine()
+        merged = merge_queries(self.q3, self.q4, name="M")
+        plan = engine.add_query(merged, result_stream="out")
+        narrow = parse_query(str(self.q3), name="M")
+        with pytest.raises(ValueError):
+            plan.widen_to(narrow)

@@ -10,7 +10,13 @@ from repro.query.containment import (
     selection_filter,
     selections_imply,
 )
-from repro.query.merging import merge_queries, mergeable, split_subscription
+from repro.query.merging import (
+    SharedGroup,
+    merge_all,
+    merge_queries,
+    mergeable,
+    split_subscription,
+)
 from repro.query.parser import ParseError, parse_query
 
 Q1_TEXT = """
@@ -226,3 +232,139 @@ class TestMerging:
         assert p42.projection == frozenset(
             {"S1.snowHeight", "S1.timestamp", "S2.snowHeight", "S2.timestamp"}
         )
+
+    def test_split_single_binding_has_no_window_band(self):
+        """Selection-only results carry no ``timestamp_lag`` attribute,
+        and their window has no semantic effect -- a band constraint
+        (which the old code emitted) would drop every result."""
+        small = parse_query(
+            "SELECT R.a, R.timestamp FROM R [Range 10 Seconds] R"
+            " WHERE R.a > 5", name="small",
+        )
+        big = parse_query(
+            "SELECT R.a, R.timestamp FROM R [Range 100 Seconds] R"
+            " WHERE R.a > 0", name="big",
+        )
+        merged = merge_queries(big, small, name="M")
+        sub = split_subscription(merged, small, "s")
+        assert not any(
+            "timestamp_lag" in c.attr for c in sub.filter.constraints
+        )
+        # a selection result of the merged query still reaches the member
+        assert sub.filter.matches({"R.a": 7, "R.timestamp": 3.0})
+        assert not sub.filter.matches({"R.a": 3, "R.timestamp": 3.0})
+
+    def test_split_lifetime_span_bounds(self):
+        """Churn-exact carving: only results whose inputs were all
+        emitted inside the member's lifetime match."""
+        q3 = parse_query(Q3_TEXT, name="Q3")
+        q4 = parse_query(Q4_TEXT, name="Q4")
+        q5 = merge_queries(q3, q4, name="Q5")
+        sub = split_subscription(
+            q5, q3, "s5", emitted_after=10.0, emitted_before=20.0
+        )
+        ok = {
+            "S1.snowHeight": 12, "S1.timestamp_lag": 100.0,
+            "S1.timestamp": 15.0, "S2.timestamp": 16.0,
+        }
+        assert sub.filter.matches(ok)
+        assert not sub.filter.matches({**ok, "S1.timestamp": 9.0})
+        assert not sub.filter.matches({**ok, "S2.timestamp": 21.0})
+
+    def test_split_projection_requests_filter_attributes(self):
+        """In-network projection forwards only requested attributes; a
+        carve whose filter reads an attribute its projection strips
+        would match nothing one hop out, so the projection must cover
+        every filter attribute."""
+        q3 = parse_query(Q3_TEXT, name="Q3")
+        q4 = parse_query(Q4_TEXT, name="Q4")
+        q5 = merge_queries(q3, q4, name="Q5")
+        sub = split_subscription(
+            q5, q4, "s5", emitted_after=10.0, emitted_before=20.0
+        )
+        assert sub.projection is not None
+        assert {c.attr for c in sub.filter.constraints} <= set(sub.projection)
+
+
+class TestMergeAll:
+    def test_fold_narrows_after_departure(self):
+        q3 = parse_query(Q3_TEXT, name="Q3")
+        q4 = parse_query(Q4_TEXT, name="Q4")
+        merged = merge_queries(q3, q4, name="M")
+        assert merged.binding("S1").window.seconds == 3600
+        refolded = merge_all([q3], name="M")
+        # forgetting Q4 brings the 30-minute window back
+        assert refolded.binding("S1").window.seconds == 1800
+        assert refolded.name == "M"
+
+    def test_empty_fold_rejected(self):
+        with pytest.raises(ValueError):
+            merge_all([])
+
+
+class TestSharedGroup:
+    def q(self, name, window, threshold):
+        return parse_query(
+            f"SELECT R.a, R.timestamp FROM R [Range {window} Seconds] R"
+            f" WHERE R.a > {threshold}", name=name,
+        )
+
+    def test_stable_gids_survive_retirement(self):
+        group = SharedGroup(0)
+        e1, _ = group.add(self.q("a", 10, 5))
+        other = parse_query("SELECT S.b, S.timestamp FROM S [Now] S", name="b")
+        e2, _ = group.add(other)
+        assert (e1.gid, e2.gid) == (0, 1)
+        entry, retired = group.remove("a")
+        assert entry is None and [e.gid for e in retired] == [0]
+        # a new group never recycles a retired id
+        e3, _ = group.add(self.q("c", 10, 5))
+        assert e3.gid == 2
+        assert {e.gid for e in group.entries} == {1, 2}
+
+    def test_redeclared_member_replaces_stale_version(self):
+        group = SharedGroup(0)
+        group.add(self.q("a", 10, 5))
+        entry, _ = group.add(self.q("b", 50, 0))
+        assert entry.merged.binding("R").window.seconds == 50
+        # re-declare b with a narrow window: the fold must narrow back
+        entry, retired = group.add(self.q("b", 10, 3))
+        assert not retired
+        assert entry.member_names() == ["a", "b"]
+        assert entry.merged.binding("R").window.seconds == 10
+
+    def test_remove_refolds_survivors(self):
+        group = SharedGroup(0)
+        group.add(self.q("a", 10, 5))
+        group.add(self.q("b", 50, 0))
+        entry, retired = group.remove("b")
+        assert retired == []
+        assert entry.merged.binding("R").window.seconds == 10
+        assert len(entry.merged.selections()) == 1
+
+    def test_collapse_retires_absorbed_group(self, monkeypatch):
+        """A widened merged query can bridge two groups; the absorbed
+        entry must be reported so its plan/adv/stream can be retired."""
+        import repro.query.merging as merging
+
+        real = merging.mergeable
+        blocked = [True]
+
+        def gated(a, b):
+            # while blocked, pretend the two seed queries differ so they
+            # found separate groups; afterwards restore real semantics
+            if blocked[0]:
+                return False
+            return real(a, b)
+
+        group = SharedGroup(0)
+        monkeypatch.setattr(merging, "mergeable", gated)
+        e1, _ = group.add(self.q("a", 10, 5))
+        e2, _ = group.add(self.q("b", 20, 3))
+        assert len(group.entries) == 2
+        blocked[0] = False
+        entry, retired = group.add(self.q("c", 30, 1))
+        assert len(group.entries) == 1
+        assert [e.gid for e in retired] == [e2.gid]
+        assert sorted(entry.member_names()) == ["a", "b", "c"]
+        assert entry.merged.binding("R").window.seconds == 30

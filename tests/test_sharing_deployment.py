@@ -99,3 +99,202 @@ class TestSharingDeployment:
         anon = parse_query("SELECT S1.snowHeight FROM Station1 [Now] S1")
         with pytest.raises(ValueError):
             dep.deploy(anon, proxy=3, processor=0)
+
+
+def total_subscriptions(dep):
+    return sum(dep.net.routing_table_sizes().values())
+
+
+class TestP1Teardown:
+    """Regression: re-merges used to leak stale ``p^1`` subscriptions."""
+
+    def test_remerge_keeps_tables_flat(self, deployment):
+        dep, _ = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q4, proxy=4, processor=0)
+        settled = total_subscriptions(dep)
+        # re-declaring a member re-merges the group; table size must not
+        # creep (the old p^1/p^2 sets are torn down before reinstall)
+        for _ in range(4):
+            dep.deploy(Q4, proxy=4, processor=0)
+            assert total_subscriptions(dep) == settled
+
+    def test_remerge_data_cost_matches_fresh_deployment(self, deployment):
+        dep, fleet = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q4, proxy=4, processor=0)
+        dep.deploy(Q4, proxy=4, processor=0)  # re-merge
+        trace = fleet.trace(start=0.0, steps=40)
+        dep.run(trace)
+
+        overlay = star_overlay([0, 1, 2, 3, 4], center=0)
+        fresh = SharingDeployment(
+            overlay, stream_sources={"Station1": 1, "Station2": 2}
+        )
+        fresh.deploy(Q3, proxy=3, processor=0)
+        fresh.deploy(Q4, proxy=4, processor=0)
+        fresh.run(trace)
+        assert dep.weighted_data_cost() == fresh.weighted_data_cost()
+        assert dep.results_of("Q3") == fresh.results_of("Q3")
+        assert dep.results_of("Q4") == fresh.results_of("Q4")
+
+
+class TestRedeploy:
+    """Regression: re-deploying a member ignored a changed proxy."""
+
+    def test_redeploy_rehomes_proxy(self, deployment):
+        dep, fleet = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q3, proxy=4, processor=0)
+        dq = dep.deployed["Q3"]
+        assert dq.proxy == 4
+        assert dep.net._subscriber_node[dq.result_subscription.sub_id] == 4
+        dep.run(fleet.trace(start=0.0, steps=60))
+        assert len(dep.results_of("Q3")) > 0
+
+    def test_redeploy_moves_processor_cleanly(self, deployment):
+        """A re-declaration on another processor must fully leave the old
+        group -- no phantom member whose later re-merges clobber the
+        live deployment's subscription."""
+        dep, fleet = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q4, proxy=3, processor=0)
+        dep.deploy(Q3, proxy=4, processor=1)
+        assert dep.deployed["Q3"].processor == 1
+        old_members = [
+            m for e in dep.groups[0].entries for m in e.member_names()
+        ]
+        assert "Q3" not in old_members
+        stream = dep.deployed["Q3"].result_subscription.streams
+        # mutating the old group must not touch Q3's subscription
+        q5 = parse_query(str(Q4), name="Q5")
+        dep.deploy(q5, proxy=3, processor=0)
+        assert dep.deployed["Q3"].result_subscription.streams == stream
+
+    def test_redeploy_does_not_duplicate_member(self, deployment):
+        dep, _ = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q3, proxy=3, processor=0)
+        assert dep.user_query_count() == 1
+        assert dep.executed_query_count() == 1
+        (entry,) = dep.groups[0].entries
+        assert entry.member_names() == ["Q3"]
+
+
+class TestUndeploy:
+    def test_undeploy_narrows_and_retires(self, deployment):
+        dep, fleet = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(Q4, proxy=4, processor=0)
+        dep.undeploy("Q4")
+        # the group re-merged down to Q3 alone: its (narrower) window is
+        # back and Q4's subscription is gone everywhere
+        (entry,) = dep.groups[0].entries
+        assert entry.merged.binding("S1").window.seconds == 30 * 60
+        assert dep.user_query_count() == 1
+        dep.run(fleet.trace(start=0.0, steps=60))
+        assert len(dep.results_of("Q3")) > 0
+        with pytest.raises(KeyError):
+            dep.results_of("Q4")
+
+    def test_undeploy_last_member_retires_group(self, deployment):
+        dep, fleet = deployment
+        dep.deploy(Q3, proxy=3, processor=0)
+        stream = dep._group_runtime[(0, 0)].stream
+        adv_id = dep._group_runtime[(0, 0)].adv.adv_id
+        dep.undeploy("Q3")
+        assert dep.executed_query_count() == 0
+        assert (0, 0) not in dep._group_runtime
+        # orphan advertisement retired from every broker
+        for broker in dep.net.brokers.values():
+            assert adv_id not in broker.table.advertisements
+        # the next deployment gets a fresh stable gid, not a recycled one
+        dep.deploy(Q3, proxy=3, processor=0)
+        assert (0, 1) in dep._group_runtime
+        assert dep._group_runtime[(0, 1)].stream != stream
+
+    def test_unknown_name_raises(self, deployment):
+        dep, _ = deployment
+        with pytest.raises(KeyError):
+            dep.undeploy("nope")
+
+
+def chain_overlay():
+    """proc 0 -- mid 5 -- proxies 3, 4, 6; sources 1, 2 off the processor.
+
+    The proxies share the 5 -> 0 path segment, so one member's result
+    subscription can cover-prune the others' propagation -- the scenario
+    whose teardown used to leave the survivors starved.
+    """
+    tree = OverlayTree(nodes=[0, 1, 2, 3, 4, 5, 6])
+    tree.add_link(0, 1, 1.0)
+    tree.add_link(0, 2, 1.0)
+    tree.add_link(0, 5, 1.0)
+    tree.add_link(5, 3, 1.0)
+    tree.add_link(5, 4, 1.0)
+    tree.add_link(5, 6, 1.0)
+    return tree
+
+
+class TestCoveringRepair:
+    """Satellite: the PR 3 ``force=True`` scenarios through the sharing
+    layer -- teardown of a covering subscription must not starve the
+    survivors it had pruned."""
+
+    def make(self):
+        fleet = SensorFleet.build(2, stream_prefix="Station", seed=7)
+        dep = SharingDeployment(
+            chain_overlay(), stream_sources={"Station1": 1, "Station2": 2}
+        )
+
+        def clone(name):
+            return parse_query(
+                "SELECT S2.* FROM Station1 [Range 30 Minutes] S1,"
+                " Station2 [Now] S2"
+                " WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10",
+                name=name,
+            )
+
+        return dep, fleet, clone
+
+    def test_undeploy_repairs_covered_survivors(self):
+        dep, fleet, clone = self.make()
+        # identical carves from three proxies: later propagations stop at
+        # the shared mid broker, covered by the first subscription.  When
+        # that coverer leaves, the survivors' fresh re-subscriptions
+        # cover each *other* at the mid broker, so without the forced
+        # repair pass neither reaches the processor again.
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(clone("Q3b"), proxy=4, processor=0)
+        dep.deploy(clone("Q3c"), proxy=6, processor=0)
+        dep.run(fleet.trace(start=0.0, steps=40))
+        before_b = len(dep.results_of("Q3b"))
+        before_c = len(dep.results_of("Q3c"))
+        assert before_b > 0 and before_c > 0
+        dep.undeploy("Q3")
+        dep.run(fleet.trace(start=40 * 30.0, steps=40))
+        assert len(dep.results_of("Q3b")) > before_b, (
+            "survivor stopped receiving results after the coverer left"
+        )
+        assert len(dep.results_of("Q3c")) > before_c, (
+            "survivor stopped receiving results after the coverer left"
+        )
+
+    def test_undeploy_mid_publish(self):
+        """Tearing a member down from inside a result sink is safe."""
+        dep, fleet, clone = self.make()
+        dep.deploy(Q3, proxy=3, processor=0)
+        dep.deploy(clone("Q3b"), proxy=4, processor=0)
+        executed = dep.deployed["Q3"].executed_name
+        fired = []
+
+        def sink(_tuple):
+            if not fired:
+                fired.append(True)
+                dep.undeploy("Q3b")
+
+        dep.engines[0].on_result(executed, sink)
+        dep.run(fleet.trace(start=0.0, steps=60))
+        assert fired, "scenario never produced a result to trigger the sink"
+        assert "Q3b" not in dep.deployed
+        assert len(dep.results_of("Q3")) > 0
