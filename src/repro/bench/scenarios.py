@@ -14,6 +14,7 @@ registration order.
 
 from __future__ import annotations
 
+import gc
 import random
 from types import SimpleNamespace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -64,6 +65,9 @@ SCALES: Dict[str, Dict] = {
             sharing_pools=[40, 4],
             sharing_rate_range=(1.0, 3.0),
             sharing_duration=10.0,
+            fault_pool=6,
+            fault_window_range=(2, 4),
+            fault_checkpoint_interval=3.0,
         ),
         engine=dict(
             sweep=[(4096, 5, 0.5), (4096, 10, 0.3)],
@@ -87,6 +91,11 @@ SCALES: Dict[str, Dict] = {
             sharing_queries=120,
             sharing_rate_range=(2.0, 4.0),
             sharing_duration=20.0,
+            fault_pool=12,
+            fault_queries=48,
+            fault_duration=24.0,
+            fault_window_range=(2, 4),
+            fault_checkpoint_interval=4.0,
         ),
         engine=dict(
             sweep=[(10240, 5, 0.5), (10240, 15, 0.3), (20480, 20, 0.3)],
@@ -117,6 +126,14 @@ SCALES: Dict[str, Dict] = {
             sharing_duration=30.0,
             sharing_max_ratio=0.5,
             sharing_min_speedup=2.0,
+            # ISSUE 6: crash + checkpoint-recovery gate, run on every
+            # (batch/scalar x shared/unshared) plane combination; the
+            # recorded runs are kept short so result logs stay bounded
+            fault_pool=24,
+            fault_queries=80,
+            fault_duration=30.0,
+            fault_window_range=(2, 4),
+            fault_checkpoint_interval=5.0,
         ),
         engine=dict(
             sweep=[
@@ -455,6 +472,9 @@ def run_scenarios(
     for name, fn in SCENARIOS.items():
         if only and name not in only:
             continue
+        # garbage from a previous scenario must not distort this one's
+        # single-sample wall clocks (the speedup gates run on them)
+        gc.collect()
         result = fn(dict(scale))
         if result is None:
             continue

@@ -23,6 +23,13 @@ benchmarks:
   delivers exactly the per-user-query results of the unshared one, and
   records the executed-vs-user query ratio plus the end-to-end speedup.
   At full scale the highest-overlap point gates both.
+* ``sim_faults``  -- fault injection under churn: a processor crash with
+  checkpoint recovery, run on every (batch/scalar x shared/unshared)
+  plane combination.  Each combo is gated on the recovery invariants
+  (zero loss for queries the crash never touched, bounded loss plus
+  post-recovery oracle parity for the hosted ones), the first combo is
+  run twice and must be bit-identical, and a no-recovery baseline must
+  lose strictly more results than the checkpoint policy.
 
 For the first three there is no reference/fast split: the wall time
 recorded there is the simulator's own cost trajectory, and the
@@ -42,8 +49,11 @@ from ..query.interest import SubstreamSpace
 from ..sim import (
     ChurnParams,
     HotSpotShift,
+    ProcessorCrash,
     ScenarioParams,
     SimWorkloadParams,
+    oracle_results,
+    recovery_invariants,
     run_scenario,
 )
 from ..topology.overlay import minimum_latency_spanning_tree
@@ -397,6 +407,143 @@ def bench_sim_sharing(scale: Dict) -> Dict:
         "parity": {
             "identical_results": True,
             "executed_ratio": densest["executed_ratio"],
+        },
+        "sweep": sweep,
+    }
+
+
+@scenario("sim_faults")
+def bench_sim_faults(scale: Dict) -> Dict:
+    """Crash + checkpoint recovery, gated on the recovery invariants."""
+    sim = sim_settings(scale)
+    duration = sim.get("fault_duration", sim["duration"])
+    crash_at = sim.get("fault_crash_at", round(duration * 0.3, 3))
+    window_range = tuple(sim.get("fault_window_range", (2, 4)))
+    workload = SimWorkloadParams(
+        num_substreams=sim["substreams"],
+        num_queries=sim.get("fault_queries", sim["queries"]),
+        rate_range=tuple(sim.get("rate_range", (0.2, 1.0))),
+        pool_substreams=sim.get("fault_pool"),
+        window_range=window_range,
+    )
+
+    def params(use_batches: bool, use_sharing: bool, recovery: str) -> ScenarioParams:
+        return ScenarioParams(
+            duration=duration,
+            sample_interval=sim["sample_interval"],
+            adapt_interval=sim["adapt_interval"],
+            initial_placement="skewed",
+            churn=ChurnParams(
+                arrival_rate=sim["churn_arrival"],
+                mean_lifetime=sim["churn_lifetime"],
+            ),
+            use_batches=use_batches,
+            use_sharing=use_sharing,
+            faults=(ProcessorCrash(at=crash_at),),
+            recovery=recovery,
+            checkpoint_interval=sim.get("fault_checkpoint_interval", 3.0),
+        )
+
+    def run(p: ScenarioParams):
+        t0 = time.perf_counter()
+        report = run_scenario(
+            seed=sim["seed"],
+            topology=_topology(sim),
+            num_sources=sim["sources"],
+            num_processors=sim["processors"],
+            workload=workload,
+            scenario=p,
+            record=True,
+        )
+        return report, time.perf_counter() - t0
+
+    def crashed(report) -> set:
+        hit: set = set()
+        for e in report.fault_log:
+            if e["kind"] == "crash":
+                hit.update(e["queries"])
+        return hit
+
+    def loss(report, oracle, affected) -> int:
+        return sum(
+            len(oracle[q]) - len(report.results.get(q, []))
+            for q in affected
+            if q in oracle
+        )
+
+    sweep = []
+    first_report = None
+    combos = [(True, False), (False, False), (True, True), (False, True)]
+    for use_batches, use_sharing in combos:
+        report, wall = run(params(use_batches, use_sharing, "checkpoint"))
+        if first_report is None:
+            first_report = report
+        oracle = oracle_results(report.actions)
+        affected = crashed(report)
+        assert affected, "fault injection crashed a node hosting no queries"
+        resumed = max(
+            e["resumed_at"]
+            for e in report.fault_log
+            if e["kind"] == "recover"
+        )
+        violations = recovery_invariants(
+            report.results,
+            oracle,
+            affected=affected,
+            resumed_at=resumed,
+            window_s=float(window_range[1]),
+        )
+        assert violations == [], (
+            f"recovery invariants violated (batches={use_batches}, "
+            f"sharing={use_sharing}): {violations}"
+        )
+        sweep.append({
+            "use_batches": use_batches,
+            "use_sharing": use_sharing,
+            "affected_queries": len(affected),
+            "results_lost": loss(report, oracle, affected),
+            "resumed_at_s": resumed,
+            "results_total": report.trace.total_results(),
+            "wall_s": wall,
+        })
+
+    # determinism: the first combo, run again, is bit-identical
+    rerun, rerun_s = run(params(*combos[0], "checkpoint"))
+    first = json.dumps(first_report.trace.to_dict(), sort_keys=True)
+    second = json.dumps(rerun.trace.to_dict(), sort_keys=True)
+    assert first == second, "fault-injected trace is not deterministic"
+    assert first_report.fault_log == rerun.fault_log
+    assert first_report.results == rerun.results
+
+    # the no-recovery baseline must be demonstrably worse
+    bare, _ = run(params(*combos[0], "none"))
+    affected = crashed(first_report)
+    assert crashed(bare) == affected, "baseline crashed a different set"
+    oracle = oracle_results(first_report.actions)
+    loss_rec = loss(first_report, oracle, affected)
+    loss_none = loss(bare, oracle, affected)
+    assert loss_rec < loss_none, (
+        f"checkpoint recovery ({loss_rec} results lost) not better than "
+        f"no recovery ({loss_none} lost)"
+    )
+
+    return {
+        "params": {
+            "processors": sim["processors"],
+            "substreams": sim["substreams"],
+            "initial_queries": workload.num_queries,
+            "duration_s": duration,
+            "crash_at_s": crash_at,
+            "checkpoint_interval_s": sim.get("fault_checkpoint_interval", 3.0),
+            "window_range_s": list(window_range),
+        },
+        "fast_s": sweep[0]["wall_s"],
+        "rerun_s": rerun_s,
+        "parity": {
+            "deterministic": True,
+            "invariant_violations": 0,
+            "loss_with_recovery": loss_rec,
+            "loss_without_recovery": loss_none,
         },
         "sweep": sweep,
     }

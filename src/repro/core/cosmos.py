@@ -120,6 +120,66 @@ class Cosmos:
         """One adaptation round (Section 3.7)."""
         return self.root.adapt()
 
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _rebuild_root(self) -> None:
+        """Rebuild the coordinator hierarchy over the mutated tree.
+
+        The old placement is re-adopted: :meth:`Coordinator.adopt`
+        silently drops entries whose host is no longer a cluster member,
+        which is exactly what a crash needs -- orphaned queries leave the
+        tree state and await re-insertion by the recovery policy.
+        Coordinator rngs are seeded from tree-local facts, so a rebuild
+        over an identical tree is bit-identical to the original.
+        """
+        old_placement = dict(self.root.placement)
+        self.root = Coordinator(
+            self.tree.root,
+            self.oracle,
+            self.space,
+            capabilities=self.capabilities,
+            vmax=self.config.vmax,
+            alpha=self.config.alpha,
+            seed=self.config.seed,
+            max_overlap_neighbors=self.config.max_overlap_neighbors,
+        )
+        self.root.adopt(list(self._known_queries.values()), old_placement)
+
+    def add_processor(self, node: int) -> None:
+        """A processor joins at runtime (Section 3.3 incremental join).
+
+        The node attaches to the closest leaf cluster (splitting it when
+        it overflows) and the coordinator hierarchy is rebuilt over the
+        mutated tree with the existing placement re-adopted; subsequent
+        :meth:`insert` and :meth:`adapt` calls can then target the new
+        member.
+        """
+        if node in self.processors:
+            raise ValueError(f"processor {node} already in tree")
+        self.processors.append(node)
+        self.tree.join(node)
+        self._rebuild_root()
+
+    def remove_processor(self, node: int) -> List[int]:
+        """A processor leaves (gracefully or by crash).
+
+        Strips the node from the hierarchy and rebuilds the coordinator
+        tree; placement entries pointing at the departed node are dropped
+        by the re-adoption.  Returns the orphaned query ids (sorted) --
+        the queries that were hosted there and now need re-placement via
+        :meth:`insert`, which is the coordinator half of crash recovery.
+        """
+        if node not in self.processors:
+            raise KeyError(f"processor {node} not in tree")
+        orphans = sorted(
+            q for q, host in self.root.placement.items() if host == node
+        )
+        self.processors.remove(node)
+        self.tree.leave(node)
+        self._rebuild_root()
+        return orphans
+
     def refresh_statistics(self, workload: Workload, rates=None) -> None:
         """Statistics collection (Section 3.8): re-estimate query loads and
         per-source rates after stream-rate changes.

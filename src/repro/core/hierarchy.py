@@ -113,6 +113,46 @@ class CoordinatorTree:
         if best.size() >= 3 * self.k:
             self._split(best)
 
+    def leave(self, node: int) -> None:
+        """Remove a processor from the hierarchy (departure or crash).
+
+        The inverse of :meth:`join`: the processor is stripped from its
+        leaf cluster and the cluster median re-elected; a leaf emptied by
+        the departure is pruned from its parent, and every internal
+        cluster's member list (the coordinators of its children) is
+        refreshed bottom-up with medians re-elected.  Leaves are allowed
+        to shrink below ``k`` -- the paper merges undersized clusters
+        lazily, and the runtime's adaptation rounds tolerate small
+        clusters, so no eager merge is performed.
+        """
+        if node not in self.processors:
+            raise KeyError(f"processor {node} not in tree")
+        if len(self.processors) == 1:
+            raise ValueError("cannot remove the last processor")
+        self.processors.remove(node)
+        leaf = self.cluster_of_processor(node)
+        leaf.members.remove(node)
+        if leaf.members:
+            leaf.coordinator = self.oracle.median(leaf.members)
+        else:
+            parent = self._parent_of(leaf)
+            # leaf cannot be the root here: other processors remain, so
+            # they live in sibling leaves under some parent
+            parent.children.remove(leaf)
+        self._refresh_internal(self.root)
+        # a root left with a single child is a pure pass-through level:
+        # collapse it so the hierarchy height reflects the real fan-out
+        while len(self.root.children) == 1:
+            self.root = self.root.children[0]
+
+    def _refresh_internal(self, cluster: Cluster) -> None:
+        """Recompute internal member lists/medians after a mutation."""
+        for child in cluster.children:
+            self._refresh_internal(child)
+        if cluster.children:
+            cluster.members = [c.coordinator for c in cluster.children]
+            cluster.coordinator = self.oracle.median(cluster.members)
+
     def _split(self, cluster: Cluster) -> None:
         members = cluster.members
         # seeds: the two farthest-apart members

@@ -192,6 +192,16 @@ class Select(Operator):
         self.out_stream = out_stream
         self.inspected = 0
 
+    def clone(self) -> "Select":
+        """An independent copy (counters included), for checkpoints.
+
+        ``type(self)`` keeps subclass behaviour: the alias-qualifying
+        selects built by ``repro.engine.plans`` clone through here too.
+        """
+        out = type(self)(list(self.predicates), self.out_stream)
+        out.inspected = self.inspected
+        return out
+
     def process(self, t: StreamTuple) -> List[StreamTuple]:
         """Pass ``t`` through iff every predicate holds."""
         self.inspected += 1
@@ -225,6 +235,13 @@ class Project(Operator):
         self.attributes = None if attributes is None else set(attributes)
         self.out_stream = out_stream
         self.inspected = 0
+
+    def clone(self) -> "Project":
+        """An independent copy (counters included), for checkpoints."""
+        attrs = None if self.attributes is None else sorted(self.attributes)
+        out = Project(attrs, self.out_stream)
+        out.inspected = self.inspected
+        return out
 
     def _keeps(self, attr: str) -> bool:
         return (
@@ -281,6 +298,30 @@ class WindowJoin(Operator):
         self.predicates = list(predicates)
         self.out_stream = out_stream
         self.inspected = 0
+
+    def clone(self) -> "WindowJoin":
+        """An independent copy of the join, window state included.
+
+        Both the scalar deque windows and the lazily created columnar
+        windows are duplicated, so the clone can keep executing on
+        whichever data plane the original was on.
+        """
+        out = WindowJoin(
+            self.left_alias,
+            self.left_window.spec,
+            self.right_alias,
+            self.right_window.spec,
+            list(self.predicates),
+            self.out_stream,
+        )
+        out.left_window = self.left_window.clone()
+        out.right_window = self.right_window.clone()
+        if self.left_cols is not None:
+            out.left_cols = self.left_cols.clone()
+        if self.right_cols is not None:
+            out.right_cols = self.right_cols.clone()
+        out.inspected = self.inspected
+        return out
 
     def state_size(self) -> int:
         """Tuples currently buffered across both join windows."""

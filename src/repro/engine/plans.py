@@ -98,6 +98,24 @@ class QueryPlan:
         self.results_emitted += out.n
         return out, row_index
 
+    def checkpoint(self) -> "QueryPlan":
+        """A deep, adoptable snapshot of this plan and its window state.
+
+        The snapshot shares nothing mutable with the running plan --
+        window extents (deque and columnar), predicate lists, and
+        ``inspected``/``results_emitted`` counters are all duplicated --
+        so it can be shipped to a recovery host and handed straight to
+        ``Engine.adopt_plan`` while the original keeps executing.  The
+        AST ``query`` is immutable and stays shared.
+        """
+        selects = {alias: s.clone() for alias, s in self.selects.items()}
+        join = None if self.join is None else self.join.clone()
+        out = QueryPlan(
+            self.query, selects, join, self.project.clone(), self.result_stream
+        )
+        out.results_emitted = self.results_emitted
+        return out
+
     def widen_to(self, query: Query) -> None:
         """Widen this plan *in place* to a superset ``query``.
 

@@ -36,6 +36,14 @@ class SlidingWindow:
         self._buf: Deque[StreamTuple] = deque()
         self._last_ts: Optional[float] = None
 
+    def clone(self) -> "SlidingWindow":
+        """An independent copy of the extent (tuples are shared, the
+        deque is not), for checkpoint snapshots."""
+        out = SlidingWindow(self.spec)
+        out._buf = deque(self._buf)
+        out._last_ts = self._last_ts
+        return out
+
     def insert(self, t: StreamTuple) -> None:
         """Append a tuple (timestamps must be non-decreasing)."""
         if self._last_ts is not None and t.timestamp < self._last_ts:
@@ -117,6 +125,18 @@ class ColumnWindow:
 
     def attributes(self) -> List[str]:
         return list(self._cols)
+
+    def clone(self) -> "ColumnWindow":
+        """An independent copy of the columnar state, capacity included,
+        so the clone's future growth/eviction behaviour is identical."""
+        out = ColumnWindow(self.spec)
+        out._cols = {k: c.copy() for k, c in self._cols.items()}
+        out._present = {k: m.copy() for k, m in self._present.items()}
+        out._ts = self._ts.copy()
+        out._start = self._start
+        out._end = self._end
+        out._last_ts = self._last_ts
+        return out
 
     # ------------------------------------------------------------------
     def _grow(self, extra: int) -> None:

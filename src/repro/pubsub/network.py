@@ -23,7 +23,7 @@ next to the optimizer's WEC estimate.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..topology.overlay import OverlayTree
 from .broker import Broker
@@ -62,6 +62,13 @@ class PubSubNetwork:
         #: cumulative control bytes (advertisement/subscription propagation)
         self.control_bytes: Dict[Tuple[int, int], float] = {}
         self._subscriber_node: Dict[int, int] = {}
+        #: adv_id -> (source node, advertisement): which broker each
+        #: advertisement was flooded from, so a departing broker's
+        #: advertisements can be retired with it
+        self._advertiser: Dict[int, Tuple[int, Advertisement]] = {}
+        #: partitioned overlay links (normalised pairs): events do not
+        #: cross them and no bytes are charged while they are down
+        self.down_links: Set[Tuple[int, int]] = set()
         #: (u, v) -> (edge list, latency ms) memo for :meth:`account_path`
         self._path_cache: Dict[Tuple[int, int], Tuple[list, float]] = {}
         #: control-plane version: bumped by every subscribe / unsubscribe /
@@ -75,6 +82,7 @@ class PubSubNetwork:
     def advertise(self, source: int, adv: Advertisement, size: float = 1.0) -> None:
         """Flood ``adv`` from ``source`` over the whole tree."""
         self.version += 1
+        self._advertiser[adv.adv_id] = (source, adv)
         self._broker(source).table.add_advertisement(adv, LOCAL)
         queue = deque([(source, None)])
         while queue:
@@ -153,8 +161,82 @@ class PubSubNetwork:
         caller's ``subscribe(..., force=True)`` pass.
         """
         self.version += 1
+        self._advertiser.pop(adv_id, None)
         for broker in self.brokers.values():
             broker.table.remove_advertisement(adv_id)
+
+    # ------------------------------------------------------------------
+    # faults & membership
+    # ------------------------------------------------------------------
+    def remove_broker(self, node: int) -> Tuple[List[int], List[int]]:
+        """Tear down everything *attached* at a departing broker.
+
+        Subscriptions installed at ``node`` are unsubscribed tree-wide,
+        and advertisements flooded *from* ``node`` are retired through
+        :meth:`unadvertise` -- a departed broker was the sole advertiser
+        of its own streams, so leaving them in place would keep dangling
+        routes pointing at a producer that no longer exists.  The broker
+        itself keeps forwarding (the overlay tree is immutable; the node
+        stays as a pure router), which is exactly the graceful-departure
+        model of the simulator.  Returns the removed (sub_ids, adv_ids).
+        """
+        subs = [sid for sid, n in self._subscriber_node.items() if n == node]
+        advs = [
+            adv_id
+            for adv_id, (src, _adv) in self._advertiser.items()
+            if src == node
+        ]
+        for sub_id in subs:
+            self.unsubscribe(sub_id)
+        for adv_id in advs:
+            self.unadvertise(adv_id)
+        return subs, advs
+
+    def reset_broker(self, node: int) -> None:
+        """Wipe one broker's routing state (the broker-loss fault).
+
+        The node forwards nothing until advertisements are re-flooded and
+        subscriptions re-propagated across it (the recovery policy's
+        ``force=True`` pass); deliveries whose path crosses it silently
+        stop in the meantime -- a restarted broker with empty tables.
+        """
+        self.version += 1
+        self._broker(node).table.clear()
+
+    def reflood_advertisements(self, size: float = 1.0) -> None:
+        """Re-flood every live advertisement from its source.
+
+        Broker-loss recovery: flooding is idempotent on brokers that
+        still hold the advertisement (their tables dedup by adv_id), and
+        repopulates the wiped broker's pointers so subscription
+        re-propagation can cross it again.  Control traffic is charged
+        per flood, like the original advertise.
+        """
+        for adv_id in list(self._advertiser):
+            source, adv = self._advertiser[adv_id]
+            self.advertise(source, adv, size=size)
+
+    def set_link_down(self, u: int, v: int) -> None:
+        """Partition one overlay link: events stop crossing it."""
+        if v not in self.tree.neighbors(u):
+            raise ValueError(f"({u}, {v}) is not an overlay link")
+        self.down_links.add(_edge(u, v))
+
+    def set_link_up(self, u: int, v: int) -> None:
+        """Heal a partitioned link."""
+        self.down_links.discard(_edge(u, v))
+
+    def path_is_up(self, u: int, v: int) -> bool:
+        """Whether the overlay path ``u`` -> ``v`` avoids down links."""
+        if not self.down_links or u == v:
+            return True
+        cached = self._path_cache.get((u, v))
+        if cached is not None:
+            edges = cached[0]
+        else:
+            path = self.tree.path(u, v)
+            edges = list(zip(path, path[1:]))
+        return all(_edge(a, b) not in self.down_links for a, b in edges)
 
     # ------------------------------------------------------------------
     # data plane
@@ -180,6 +262,8 @@ class PubSubNetwork:
                 deliveries.append((node, projected, sub))
             for nbr in match.forward_order(LOCAL):
                 assert isinstance(nbr, int)
+                if self.down_links and _edge(node, nbr) in self.down_links:
+                    continue  # partitioned: the event is lost, no bytes
                 needed = match.needed[nbr]
                 forwarded = ev if needed is None else ev.project(needed)
                 self._account(self.link_bytes, node, nbr, forwarded.size)

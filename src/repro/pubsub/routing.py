@@ -67,6 +67,20 @@ class RoutingTable:
         for adv_id, (adv, _via) in self.advertisements.items():
             self._adv_streams.setdefault(adv.stream, set()).add(adv_id)
 
+    def clear(self) -> None:
+        """Drop every advertisement and subscription (a broker restart).
+
+        Leaves the table exactly as a freshly constructed one: the
+        forwarding index is rebuilt empty, so matching and covering
+        behave as if the broker had just joined with no state -- the
+        broker-loss fault model of the simulator.
+        """
+        self.advertisements.clear()
+        self.subscriptions.clear()
+        self._adv_streams.clear()
+        if self.use_index:
+            self._index = ForwardingIndex(LOCAL)
+
     # ------------------------------------------------------------------
     # advertisements
     # ------------------------------------------------------------------

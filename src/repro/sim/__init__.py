@@ -20,17 +20,42 @@ from .cluster import (
     oracle_results,
     run_scenario,
 )
-from .events import EventLoop
+from .events import EventHandle, EventLoop
+from .faults import (
+    RECOVERY_POLICIES,
+    BrokerLoss,
+    CheckpointRecovery,
+    FaultInjector,
+    LinkPartition,
+    NoRecovery,
+    ProcessorCrash,
+    ProcessorJoin,
+    ProcessorLeave,
+    RecoveryPolicy,
+    is_subsequence,
+    recovery_invariants,
+)
 from .metrics import CostModel, RootedOverlay, load_stddev
 from .trace import AdaptationMark, SimTrace, TraceSample
 from .workload import SimQuery, SimQueryFactory, SimWorkloadParams, measure_rates
 
 __all__ = [
     "AdaptationMark",
+    "BrokerLoss",
+    "CheckpointRecovery",
     "ChurnParams",
     "CostModel",
+    "EventHandle",
     "EventLoop",
+    "FaultInjector",
     "HotSpotShift",
+    "LinkPartition",
+    "NoRecovery",
+    "ProcessorCrash",
+    "ProcessorJoin",
+    "ProcessorLeave",
+    "RECOVERY_POLICIES",
+    "RecoveryPolicy",
     "RootedOverlay",
     "ScenarioParams",
     "SimCluster",
@@ -40,8 +65,10 @@ __all__ = [
     "SimTrace",
     "SimWorkloadParams",
     "TraceSample",
+    "is_subsequence",
     "load_stddev",
     "measure_rates",
     "oracle_results",
+    "recovery_invariants",
     "run_scenario",
 ]

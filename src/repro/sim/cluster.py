@@ -141,6 +141,17 @@ class ScenarioParams:
     #: the pre-sharing simulator; ``True`` must still deliver exactly the
     #: per-user-query results of the single-engine oracle.
     use_sharing: bool = False
+    #: scheduled fault/membership events (see :mod:`repro.sim.faults`);
+    #: the empty default leaves every existing trace bit-identical
+    faults: Tuple[object, ...] = ()
+    #: recovery policy name (key of ``RECOVERY_POLICIES``)
+    recovery: str = "checkpoint"
+    #: period of window-state checkpoints to the hierarchy root (None
+    #: disables checkpointing; crashes then restore into empty windows)
+    checkpoint_interval: Optional[float] = None
+    #: extra processors selected but kept outside the initial membership,
+    #: available to :class:`~repro.sim.faults.ProcessorJoin` events
+    spare_processors: int = 0
 
 
 @dataclass
@@ -170,7 +181,11 @@ class _QueryState:
     last_release_floor: float = 0.0
     #: earliest time deliveries may resume after a migration handoff
     ready: float = 0.0
-    pending: Deque[StreamTuple] = field(default_factory=deque)
+    #: scalar-plane pending deliveries: (tuple, release) in FIFO order;
+    #: releases are non-decreasing, and keeping them lets a release event
+    #: verify the head's time really has come (a force-drain can leave
+    #: stale events behind)
+    pending: Deque[Tuple[StreamTuple, float]] = field(default_factory=deque)
     #: batch-mode pending deliveries: (timestamp, emit seq, tuple,
     #: release) kept sorted by (timestamp, seq) -- the order the scalar
     #: path delivers in.  Release times are non-decreasing along it.
@@ -244,7 +259,7 @@ class _GroupState:
     last_release: float = 0.0
     last_release_floor: float = 0.0
     ready: float = 0.0
-    pending: Deque[StreamTuple] = field(default_factory=deque)
+    pending: Deque[Tuple[StreamTuple, float]] = field(default_factory=deque)
     pending_rel: List[Tuple[float, int, StreamTuple, float]] = field(
         default_factory=list
     )
@@ -284,6 +299,8 @@ class SimReport:
     #: plans that actually executed: equals ``user_queries`` on the
     #: unshared plane, the number of shared groups with ``use_sharing``
     executed_queries: int = 0
+    #: ordered fault/membership/recovery log (empty without faults)
+    fault_log: List[Dict] = field(default_factory=list)
 
 
 class SimCluster:
@@ -302,6 +319,8 @@ class SimCluster:
         arrival_rng: np.random.Generator,
         value_rng: np.random.Generator,
         churn_rng: Optional[np.random.Generator] = None,
+        fault_rng: Optional[np.random.Generator] = None,
+        spares: Optional[List[int]] = None,
         seed: int = 0,
         record: bool = False,
     ):
@@ -315,12 +334,13 @@ class SimCluster:
         self.arrival_rng = arrival_rng
         self.value_rng = value_rng
         self.churn_rng = churn_rng
+        self.spares = list(spares or [])
         self.record = record
 
         self.loop = EventLoop()
         self.trace = SimTrace(seed=seed)
         overlay = minimum_latency_spanning_tree(
-            self.sources + self.processors, oracle
+            self.sources + self.processors + self.spares, oracle
         )
         self.network = PubSubNetwork(
             overlay, record_deliveries=False, use_index=params.use_index
@@ -358,7 +378,10 @@ class SimCluster:
         #: -- the exact deliveries and byte counts of the hop-by-hop
         #: walk, minus the per-event tree traversal.  ``_route_fast``
         #: stays on; the parity tests flip it to pin the equivalence.
-        self._route_fast = True
+        #: Fault scenarios force the hop-by-hop reference: the memoised
+        #: route bypasses broker tables, so it cannot observe a wiped
+        #: broker (BrokerLoss) or a partitioned link.
+        self._route_fast = not params.faults
         #: substream -> (network version, [(host, compiled matcher, gid)])
         self._src_route: Dict[int, Tuple[int, List[Tuple[int, object, int]]]] = {}
         self._edge_paths: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
@@ -384,6 +407,15 @@ class SimCluster:
         ]
         self._emit_seq = 0
         self.batch_publishes = 0
+
+        #: ordered fault/membership/recovery log (always present; empty
+        #: without configured faults)
+        self.fault_log: List[Dict] = []
+        self.faults = None
+        if params.faults or params.checkpoint_interval is not None:
+            from .faults import FaultInjector
+
+            self.faults = FaultInjector(self, fault_rng, params)
 
     # ------------------------------------------------------------------
     # latency helpers
@@ -736,7 +768,7 @@ class SimCluster:
     def _drain_unit_completely(self, unit) -> None:
         """Deliver everything pending on a unit, releases regardless."""
         while unit.pending:
-            self._deliver_now(unit, unit.pending.popleft())
+            self._deliver_now(unit, unit.pending.popleft()[0])
         if unit.pending_rel:
             rows = [(t, self.loop.now) for _, _, t, _ in unit.pending_rel]
             unit.pending_rel.clear()
@@ -777,7 +809,7 @@ class SimCluster:
         # it in the queue -- dropping them would diverge from the oracle,
         # which processes every tuple emitted before the departure
         while qs.pending:
-            self._deliver_now(qs, qs.pending.popleft())
+            self._deliver_now(qs, qs.pending.popleft()[0])
         if qs.pending_rel:
             # batch mode: rows still pending here were paused past their
             # release (migration handoff) -- the scalar plane's detach
@@ -802,7 +834,7 @@ class SimCluster:
         if self._sharing:
             for gid in sorted(self.groups):
                 gs = self.groups[gid]
-                if not gs.alive:
+                if not gs.alive or gs.detached:
                     continue
                 if streams is not None and not (streams & set(gs.streams)):
                     continue
@@ -810,7 +842,7 @@ class SimCluster:
                     self.network.subscribe(gs.host, sub, force=True)
             return
         for qs in self.queries.values():
-            if not qs.alive:
+            if not qs.alive or qs.detached:
                 continue
             if streams is not None and not (streams & set(qs.simq.streams)):
                 continue
@@ -982,7 +1014,7 @@ class SimCluster:
                 tup = rows[0][1]
                 release = max(tup.timestamp + qs.slack, qs.last_release)
                 qs.last_release = release
-                qs.pending.append(tup)
+                qs.pending.append((tup, release))
                 self.loop.schedule(
                     release, partial(self._release_one, query_id)
                 )
@@ -1162,7 +1194,7 @@ class SimCluster:
                 (seq, tup) = unit_rows[0]
                 release = max(tup.timestamp + gs.slack, gs.last_release)
                 gs.last_release = release
-                gs.pending.append(tup)
+                gs.pending.append((tup, release))
                 self.loop.schedule(release, partial(self._release_one, gid))
                 continue
             release_last = 0.0
@@ -1217,7 +1249,14 @@ class SimCluster:
         if self.loop.now < qs.ready:
             self.loop.schedule(qs.ready, partial(self._release_one, unit_id))
             return
-        self._deliver_now(qs, qs.pending.popleft())
+        tup, release = qs.pending[0]
+        if self.loop.now < release:
+            # stale event: its own tuple was force-drained earlier (member
+            # departure, crash recovery).  The head tuple's own release
+            # event is still queued and will deliver it on time.
+            return
+        qs.pending.popleft()
+        self._deliver_now(qs, tup)
 
     def _drain_query(self, unit_id: int) -> None:
         """Deliver a unit's released batch rows (batch plane)."""
@@ -1629,6 +1668,8 @@ class SimCluster:
             and self.params.adapt_interval <= self.duration
         ):
             self.loop.schedule(self.params.adapt_interval, self._adapt_round)
+        if self.faults is not None:
+            self.faults.schedule()
 
     def run(self) -> None:
         """Run to the horizon, then drain in-flight deliveries."""
@@ -1659,10 +1700,13 @@ def run_scenario(
     query's result tuples, which :func:`oracle_results` can replay on a
     single engine for correctness checks.
     """
-    spawned = np.random.SeedSequence(seed).spawn(8)
+    # the 9th spawn feeds fault-target resolution; SeedSequence spawning
+    # is prefix-stable, so the first 8 streams -- and with them every
+    # fault-free trace -- are bit-identical to the spawn(8) era
+    spawned = np.random.SeedSequence(seed).spawn(9)
     rngs = [np.random.default_rng(s) for s in spawned]
     (topo_rng, roles_rng, space_rng, factory_rng,
-     arrival_rng, value_rng, churn_rng, hotspot_rng) = rngs
+     arrival_rng, value_rng, churn_rng, hotspot_rng, fault_rng) = rngs
 
     topo = generate_transit_stub(
         topology
@@ -1674,8 +1718,15 @@ def run_scenario(
     )
     oracle = LatencyOracle(topo)
     sources, processors = select_roles(
-        topo, num_sources, num_processors, rng=roles_rng
+        topo,
+        num_sources,
+        num_processors + scenario.spare_processors,
+        rng=roles_rng,
     )
+    # spares sit in the overlay from the start (brokers and all) but stay
+    # outside the engine/coordinator membership until a ProcessorJoin
+    spares = processors[num_processors:]
+    processors = processors[:num_processors]
     space = SubstreamSpace.random(
         workload.num_substreams,
         sources,
@@ -1716,6 +1767,8 @@ def run_scenario(
         arrival_rng=arrival_rng,
         value_rng=value_rng,
         churn_rng=churn_rng,
+        fault_rng=fault_rng,
+        spares=spares,
         seed=seed,
         record=record,
     )
@@ -1777,6 +1830,7 @@ def run_scenario(
         executed_queries=(
             len(cluster.groups) if scenario.use_sharing else len(cluster.queries)
         ),
+        fault_log=cluster.fault_log,
     )
 
 

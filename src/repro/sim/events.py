@@ -17,9 +17,28 @@ import heapq
 import itertools
 from typing import Callable, List, Tuple
 
-__all__ = ["EventLoop"]
+__all__ = ["EventHandle", "EventLoop"]
 
 Action = Callable[[], None]
+
+
+class EventHandle:
+    """Handle for one scheduled action; :meth:`cancel` makes the loop
+    skip it.
+
+    Cancellation is O(1): the heap entry stays queued and is discarded,
+    uncounted, when popped (lazy deletion).  Fault injection uses this to
+    retire events targeting state that a crash destroyed.
+    """
+
+    __slots__ = ("action", "cancelled")
+
+    def __init__(self, action: Action):
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 class EventLoop:
@@ -36,28 +55,31 @@ class EventLoop:
     def __init__(self, start: float = 0.0, past_epsilon: float = 1e-9):
         self.now: float = start
         self.past_epsilon = past_epsilon
-        self._heap: List[Tuple[float, int, Action]] = []
+        self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self.processed: int = 0
 
-    def schedule(self, when: float, action: Action) -> None:
+    def schedule(self, when: float, action: Action) -> EventHandle:
         """Schedule ``action`` at absolute time ``when``.
 
         Raises ``ValueError`` if ``when`` lies more than ``past_epsilon``
         before ``now``; times within the epsilon are clamped to ``now``
         (the action still runs after every event already queued at
-        ``now``, preserving the deterministic total order).
+        ``now``, preserving the deterministic total order).  Returns a
+        cancellable :class:`EventHandle`.
         """
         if when < self.now - self.past_epsilon:
             raise ValueError(
                 f"cannot schedule at t={when!r}: already at t={self.now!r} "
                 f"(beyond past_epsilon={self.past_epsilon!r})"
             )
-        heapq.heappush(self._heap, (max(when, self.now), next(self._seq), action))
+        handle = EventHandle(action)
+        heapq.heappush(self._heap, (max(when, self.now), next(self._seq), handle))
+        return handle
 
-    def schedule_in(self, delay: float, action: Action) -> None:
+    def schedule_in(self, delay: float, action: Action) -> EventHandle:
         """Schedule ``action`` ``delay`` time units from now."""
-        self.schedule(self.now + delay, action)
+        return self.schedule(self.now + delay, action)
 
     def peek_time(self) -> float:
         """Time of the next pending event (``inf`` when idle)."""
@@ -71,9 +93,11 @@ class EventLoop:
         """
         count = 0
         while self._heap and self._heap[0][0] <= end:
-            when, _, action = heapq.heappop(self._heap)
+            when, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
             self.now = when
-            action()
+            handle.action()
             count += 1
         if end != float("inf"):
             self.now = max(self.now, end)

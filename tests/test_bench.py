@@ -55,6 +55,7 @@ class TestRegistry:
             "wec_eval", "diffusion", "coarsening",
             "attach_costs", "rebalance", "distribute_e2e",
             "sim_steady", "sim_churn", "sim_hotspot", "sim_scale",
+            "sim_sharing", "sim_faults",
         ):
             assert name in SCENARIOS
 

@@ -260,6 +260,138 @@ class TestRetainResults:
             Engine(retain_results=-1)
 
 
+@st.composite
+def checkpoint_case(draw):
+    """A join workload with a checkpoint cut somewhere inside it.
+
+    Timestamp increments are drawn from a set that includes the exact
+    window extents, so runs land tuples exactly on eviction boundaries
+    (``ts == now - seconds`` survives, anything older is dropped).
+    """
+    wr = draw(st.integers(2, 6))
+    ws = draw(st.integers(2, 6))
+    n = draw(st.integers(0, 20))
+    rows = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(
+            st.sampled_from([0.0, 1.0, float(wr), float(ws), float(max(wr, ws)) + 1.0])
+        )
+        rows.append((draw(st.sampled_from(["R", "S"])), t, draw(st.integers(0, 5))))
+    cut = draw(st.integers(0, n))
+    return wr, ws, rows, cut
+
+
+class TestCheckpointRestore:
+    """Satellite: ``checkpoint() -> adopt_plan()`` round-trips exactly.
+
+    Covers empty, partially filled, and eviction-boundary windows on
+    both the scalar deque plane and the columnar batch plane, and checks
+    the snapshot is fully independent of the still-running original.
+    """
+
+    QUERY = (
+        "SELECT * FROM R [Range {wr} Seconds] R,"
+        " S [Range {ws} Seconds] S WHERE R.a > S.a"
+    )
+
+    def _engine(self, wr, ws, use_batches):
+        e = Engine(use_batches=use_batches)
+        e.add_query(parse_query(self.QUERY.format(wr=wr, ws=ws), name="q"))
+        return e
+
+    @given(checkpoint_case())
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_roundtrip_exact(self, case):
+        wr, ws, rows, cut = case
+        ref = self._engine(wr, ws, use_batches=False)
+        live = self._engine(wr, ws, use_batches=False)
+        for stream, t, a in rows[:cut]:
+            ref.push(tup(stream, t, a=a))
+            live.push(tup(stream, t, a=a))
+        snap = live.plans["q"].checkpoint()
+        assert snap.cpu_cost() == live.plans["q"].cpu_cost()
+        assert snap.state_size() == live.plans["q"].state_size()
+        restored = Engine(use_batches=False)
+        restored.adopt_plan(snap)
+        n_prefix = len(ref.results["q"])
+        for stream, t, a in rows[cut:]:
+            # mutate the original first: a shallow snapshot would diverge
+            live.push(tup(stream, t, a=a))
+            restored.push(tup(stream, t, a=a))
+            ref.push(tup(stream, t, a=a))
+        assert [r.values for r in restored.results["q"]] == [
+            r.values for r in ref.results["q"][n_prefix:]
+        ]
+        assert restored.plans["q"].cpu_cost() == ref.plans["q"].cpu_cost()
+        assert (
+            restored.plans["q"].results_emitted
+            == ref.plans["q"].results_emitted
+        )
+
+    @given(checkpoint_case())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_roundtrip_exact(self, case):
+        from repro.engine import TupleBatch
+
+        wr, ws, rows, cut = case
+
+        def chunks(seq):
+            """Consecutive same-stream rows as one multi-row batch."""
+            out, run = [], []
+            for stream, t, a in seq:
+                if run and run[0].stream != stream:
+                    out.append(TupleBatch.from_tuples(run[0].stream, run))
+                    run = []
+                run.append(tup(stream, t, a=a))
+            if run:
+                out.append(TupleBatch.from_tuples(run[0].stream, run))
+            return out
+
+        ref = self._engine(wr, ws, use_batches=True)
+        live = self._engine(wr, ws, use_batches=True)
+        for batch in chunks(rows[:cut]):
+            ref.push_batch(batch)
+            live.push_batch(batch)
+        snap = live.plans["q"].checkpoint()
+        assert snap.cpu_cost() == live.plans["q"].cpu_cost()
+        assert snap.state_size() == live.plans["q"].state_size()
+        restored = Engine(use_batches=True)
+        restored.adopt_plan(snap)
+        n_prefix = len(ref.results["q"])
+        for batch in chunks(rows[cut:]):
+            live.push_batch(batch)
+            restored.push_batch(batch)
+            ref.push_batch(batch)
+        assert [r.values for r in restored.results["q"]] == [
+            r.values for r in ref.results["q"][n_prefix:]
+        ]
+        assert restored.plans["q"].cpu_cost() == ref.plans["q"].cpu_cost()
+
+    def test_selection_only_plan_roundtrip(self):
+        e = Engine()
+        e.add_query(parse_query(
+            "SELECT R.a FROM R [Now] WHERE R.a > 2", name="q"))
+        e.push(tup("R", 1, a=5))
+        snap = e.plans["q"].checkpoint()
+        other = Engine()
+        other.adopt_plan(snap)
+        out = other.push(tup("R", 2, a=4))
+        assert len(out) == 1
+        assert other.plans["q"].results_emitted == 2  # counter carried over
+
+    def test_checkpoint_shares_no_window_state(self):
+        e = Engine(use_batches=False)
+        e.add_query(parse_query(
+            "SELECT * FROM R [Range 100 Seconds] R, S [Now] S"
+            " WHERE R.a = S.a", name="q"))
+        e.push(tup("R", 1, a=1))
+        snap = e.plans["q"].checkpoint()
+        e.push(tup("R", 2, a=2))  # original grows after the snapshot
+        assert snap.state_size() == 1
+        assert e.plans["q"].state_size() == 2
+
+
 class TestSensors:
     def test_fleet_streams_unique(self):
         fleet = SensorFleet.build(5, seed=1)

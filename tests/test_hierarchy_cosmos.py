@@ -207,6 +207,141 @@ class TestCosmosInsertAdapt:
         assert set(placement.values()) == {processors[0]}
 
 
+class TestTreeLeave:
+    """Processor departure from the coordinator hierarchy."""
+
+    def test_leave_removes_processor(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=4)
+        tree.leave(processors[0])
+        assert processors[0] not in tree.root.descendants()
+        assert sorted(tree.root.descendants()) == sorted(processors[1:])
+        for leaf in tree.leaf_clusters():
+            assert leaf.coordinator == oracle.median(leaf.members)
+
+    def test_leave_refreshes_internal_medians(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=2)
+        # remove a leaf coordinator so its parent's member list must change
+        victim = tree.leaf_clusters()[0].coordinator
+        tree.leave(victim)
+        for level in tree.levels()[1:]:
+            for cluster in level:
+                assert cluster.members == [
+                    c.coordinator for c in cluster.children
+                ]
+                assert cluster.coordinator == oracle.median(cluster.members)
+
+    def test_emptied_leaf_is_pruned(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=2)
+        doomed = list(tree.leaf_clusters()[0].members)
+        for node in doomed:
+            tree.leave(node)
+        assert all(leaf.members for leaf in tree.leaf_clusters())
+        expected = sorted(set(processors) - set(doomed))
+        assert sorted(tree.root.descendants()) == expected
+
+    def test_join_then_leave_restores_membership(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors[:-1], oracle, k=4)
+        newcomer = processors[-1]
+        tree.join(newcomer)
+        tree.leave(newcomer)
+        assert sorted(tree.root.descendants()) == sorted(processors[:-1])
+
+    def test_last_processor_rejected(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors[:1], oracle, k=4)
+        with pytest.raises(ValueError):
+            tree.leave(processors[0])
+
+    def test_unknown_processor_rejected(self, env):
+        _, oracle, _, processors, _ = env
+        tree = build_coordinator_tree(processors, oracle, k=4)
+        with pytest.raises(KeyError):
+            tree.leave(-17)
+
+
+class TestElasticMembership:
+    """Runtime processor add/remove through the Cosmos facade."""
+
+    def _fresh(self, env, procs=None):
+        _, oracle, _, processors, workload = env
+        procs = processors if procs is None else procs
+        cosmos = Cosmos(oracle, procs, workload.space,
+                        CosmosConfig(k=4, vmax=40))
+        cosmos.distribute(workload.queries)
+        return cosmos, workload
+
+    def test_remove_processor_orphans_its_queries(self, env):
+        _, _, _, processors, _ = env
+        cosmos, workload = self._fresh(env)
+        hosts = set(cosmos.placement.values())
+        victim = sorted(hosts)[0]
+        expected = sorted(
+            q for q, h in cosmos.placement.items() if h == victim
+        )
+        orphans = cosmos.remove_processor(victim)
+        assert orphans == expected
+        assert victim not in cosmos.processors
+        assert victim not in set(cosmos.placement.values())
+        for q in orphans:
+            assert q not in cosmos.placement
+        # survivors keep their placement verbatim
+        survivors = {q for q in cosmos.placement}
+        assert survivors == {
+            q.query_id for q in workload.queries
+        } - set(orphans)
+
+    def test_orphans_reinsert_onto_survivors(self, env):
+        cosmos, workload = self._fresh(env)
+        victim = sorted(set(cosmos.placement.values()))[0]
+        orphans = cosmos.remove_processor(victim)
+        specs = {q.query_id: q for q in workload.queries}
+        for qid in orphans:
+            host = cosmos.insert(specs[qid])
+            assert host in cosmos.processors
+            assert cosmos.placement[qid] == host
+
+    def test_add_processor_becomes_placeable(self, env):
+        _, _, _, processors, _ = env
+        cosmos, workload = self._fresh(env, procs=processors[:-1])
+        before = dict(cosmos.placement)
+        newcomer = processors[-1]
+        cosmos.add_processor(newcomer)
+        assert newcomer in cosmos.processors
+        assert newcomer in cosmos.tree.root.descendants()
+        assert dict(cosmos.placement) == before, "join must not move queries"
+        fresh = workload.new_queries(20, cosmos.processors)
+        hosts = {cosmos.insert(q) for q in fresh}
+        assert hosts <= set(cosmos.processors)
+        cosmos.adapt()  # hierarchy stays functional after the rebuild
+
+    def test_duplicate_add_rejected(self, env):
+        _, _, _, processors, _ = env
+        cosmos, _ = self._fresh(env)
+        with pytest.raises(ValueError):
+            cosmos.add_processor(processors[0])
+
+    def test_membership_ops_deterministic(self, env):
+        _, oracle, _, processors, workload = env
+
+        def run():
+            cosmos = Cosmos(oracle, processors, workload.space,
+                            CosmosConfig(k=4, vmax=40))
+            cosmos.distribute(workload.queries)
+            victim = sorted(set(cosmos.placement.values()))[0]
+            orphans = cosmos.remove_processor(victim)
+            specs = {q.query_id: q for q in workload.queries}
+            for qid in orphans:
+                cosmos.insert(specs[qid])
+            cosmos.adapt()
+            return dict(cosmos.placement)
+
+        assert run() == run()
+
+
 class TestCosmosRemoval:
     """Query departure (the churn counterpart of online insertion)."""
 

@@ -245,6 +245,146 @@ class TestEndToEnd:
         assert self.net.total_data_bytes() == 0.0
 
 
+class TestBrokerRemoval:
+    """Graceful departure: ``remove_broker`` retires attached state."""
+
+    def setup_method(self):
+        self.net = PubSubNetwork(chain_tree(4))
+
+    def test_last_advertiser_retires_advertisement(self):
+        # Regression: node 0 is the *only* advertiser of "R".  Removing it
+        # must retire the advertisement tree-wide, not leave dangling
+        # routes pointing at a producer that no longer exists.
+        adv = Advertisement(stream="R")
+        self.net.advertise(0, adv)
+        sub = Subscription.to_streams(["R"])
+        self.net.subscribe(3, sub)
+        assert any(
+            adv.adv_id in b.table.advertisements for b in self.net.brokers.values()
+        )
+        subs, advs = self.net.remove_broker(0)
+        assert subs == [] and advs == [adv.adv_id]
+        for broker in self.net.brokers.values():
+            assert adv.adv_id not in broker.table.advertisements
+        # a later subscriber must not route toward the dead advertiser
+        late = Subscription.to_streams(["R"])
+        before = dict(self.net.control_bytes)
+        self.net.subscribe(2, late)
+        assert self.net.control_bytes == before, "no adverts left to chase"
+
+    def test_other_advertisers_survive(self):
+        a0 = Advertisement(stream="R")
+        a2 = Advertisement(stream="R")
+        self.net.advertise(0, a0)
+        self.net.advertise(2, a2)
+        self.net.remove_broker(0)
+        assert a2.adv_id in self.net._broker(3).table.advertisements
+        sub = Subscription.to_streams(["R"])
+        self.net.subscribe(3, sub)
+        assert [n for n, _, _ in self.net.publish(2, Event("R", {"a": 1}))] == [3]
+
+    def test_attached_subscriptions_unsubscribed_tree_wide(self):
+        self.net.advertise(0, Advertisement(stream="R"))
+        gone = Subscription.to_streams(["R"])
+        kept = Subscription.to_streams(["R"])
+        self.net.subscribe(3, gone)
+        self.net.subscribe(2, kept)
+        subs, _ = self.net.remove_broker(3)
+        assert subs == [gone.sub_id]
+        for broker in self.net.brokers.values():
+            assert all(
+                e.sub_id != gone.sub_id for _, e in broker.table.iter_entries()
+            )
+        # `kept` had been covered upstream by `gone`, so its entries
+        # vanish with it -- the caller repairs with the force=True pass
+        # (the PR 3 covering-repair machinery recovery policies reuse).
+        self.net.subscribe(2, kept, force=True)
+        assert [n for n, _, _ in self.net.publish(0, Event("R", {"a": 1}))] == [2]
+
+    def test_version_bumped(self):
+        self.net.advertise(0, Advertisement(stream="R"))
+        before = self.net.version
+        self.net.remove_broker(0)
+        assert self.net.version > before
+
+
+class TestBrokerLossAndRecovery:
+    """``reset_broker`` wipes one table; reflood + force-resubscribe heals."""
+
+    def setup_method(self):
+        self.net = PubSubNetwork(chain_tree(4))
+        self.adv = Advertisement(stream="R")
+        self.net.advertise(0, self.adv)
+        self.sub = Subscription.to_streams(["R"])
+        self.net.subscribe(3, self.sub)
+
+    def test_reset_silences_paths_across_the_broker(self):
+        assert len(self.net.publish(0, Event("R", {"a": 1}))) == 1
+        self.net.reset_broker(1)
+        assert self.net._broker(1).table.size() == 0
+        assert self.net._broker(1).table.advertisements == {}
+        # the event dies at the wiped broker
+        assert self.net.publish(0, Event("R", {"a": 2})) == []
+
+    def test_reflood_then_force_resubscribe_repairs_delivery(self):
+        self.net.reset_broker(1)
+        assert self.net.publish(0, Event("R", {"a": 2})) == []
+        # recovery order matters: adverts first (repopulate the wiped
+        # broker's pointers), then the force=True subscription pass.
+        self.net.reflood_advertisements()
+        assert self.adv.adv_id in self.net._broker(1).table.advertisements
+        self.net.subscribe(3, self.sub, force=True)
+        assert [n for n, _, _ in self.net.publish(0, Event("R", {"a": 3}))] == [3]
+
+    def test_reflood_is_idempotent_on_healthy_brokers(self):
+        sizes = dict(self.net.routing_table_sizes())
+        self.net.reflood_advertisements()
+        assert self.net.routing_table_sizes() == sizes
+        for broker in self.net.brokers.values():
+            assert list(broker.table.advertisements) == [self.adv.adv_id]
+
+    def test_routing_table_clear_matches_fresh_table(self):
+        table = self.net._broker(2).table
+        table.clear()
+        fresh = RoutingTable(broker=2, use_index=table.use_index)
+        assert table.advertisements == fresh.advertisements
+        assert table.subscriptions == fresh.subscriptions
+        assert table.size() == 0
+        assert table.match_event(Event("R", {"a": 1})).interfaces == set()
+
+
+class TestLinkPartition:
+    def setup_method(self):
+        self.net = PubSubNetwork(chain_tree(4))
+        self.net.advertise(0, Advertisement(stream="R"))
+        self.sub = Subscription.to_streams(["R"])
+        self.net.subscribe(3, self.sub)
+
+    def test_down_link_drops_events_without_charging(self):
+        self.net.set_link_down(1, 2)
+        before = self.net.total_data_bytes()
+        assert self.net.publish(0, Event("R", {"a": 1}, size=8.0)) == []
+        # the hop 0->1 is still charged; the partitioned 1->2 is not
+        assert self.net.link_bytes.get((0, 1), 0.0) > before
+        assert (1, 2) not in self.net.link_bytes
+
+    def test_path_is_up_and_healing(self):
+        assert self.net.path_is_up(0, 3)
+        self.net.set_link_down(1, 2)
+        assert not self.net.path_is_up(0, 3)
+        assert not self.net.path_is_up(3, 0)
+        assert self.net.path_is_up(0, 1)
+        assert self.net.path_is_up(2, 3)
+        assert self.net.path_is_up(2, 2)
+        self.net.set_link_up(1, 2)
+        assert self.net.path_is_up(0, 3)
+        assert [n for n, _, _ in self.net.publish(0, Event("R", {"a": 1}))] == [3]
+
+    def test_non_overlay_link_rejected(self):
+        with pytest.raises(ValueError):
+            self.net.set_link_down(0, 3)
+
+
 # ---------------------------------------------------------------------------
 # property-based: delivery = exact match set, exactly once
 # ---------------------------------------------------------------------------

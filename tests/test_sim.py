@@ -153,6 +153,93 @@ class TestMeasureRates:
             measure_rates(space, 0.0, np.random.default_rng(1))
 
 
+class TestMidDrainRemoval:
+    """Satellite regression: a unit force-drained mid-stream (a member
+    departing its shared group, a crashed host's recovery) leaves its
+    already-scheduled release events in the loop; those stale events must
+    not deliver *later* pending tuples before their own release time.
+    """
+
+    @staticmethod
+    def _mini_cluster():
+        """A one-query cluster wired just deep enough for the scalar
+        delivery machinery (`_publish_rows` -> `_release_one`)."""
+        from types import SimpleNamespace
+
+        from repro.engine.executor import Engine
+        from repro.query.interest import mask_of
+        from repro.query.workload import QuerySpec
+        from repro.sim.cluster import SimCluster, _QueryState
+        from repro.sim.workload import SimQuery
+        from repro.query.parser import parse_query
+
+        c = SimCluster.__new__(SimCluster)
+        c.loop = EventLoop()
+        c._sharing = False
+        c._batching = False
+        c.record = False
+        c.results_total = 0
+        c._interval_results = 0
+        c.engines = {0: Engine(node=0, use_batches=False)}
+        c.queries = {}
+        c._units = c.queries
+        c.space = SimpleNamespace(source_of=[1])
+        ast = parse_query(
+            "SELECT A.value FROM S0 [Range 5 Seconds] A", name="q0"
+        )
+        plan = c.engines[0].add_query(ast, result_stream="out_q0")
+        spec = QuerySpec(
+            query_id=0, proxy=0, mask=mask_of([0]), group=0,
+            load=1.0, result_rate=1.0, state_size=0.0,
+        )
+        simq = SimQuery(
+            spec=spec, ast=ast, text="", streams=("S0",), substreams=(0,)
+        )
+        qs = _QueryState(simq=simq, host=0, sub=None, plan=plan, slack=1.0)
+        c.queries[0] = qs
+
+        class _OneSubNet:
+            """Every publish reaches the single query's subscription."""
+
+            def __init__(self):
+                from repro.pubsub.subscriptions import Subscription
+
+                self.sub = Subscription.to_streams(("S0",))
+
+            def publish(self, source, event):
+                return [(0, event, self.sub)]
+
+        c.network = _OneSubNet()
+        c._by_sub = {c.network.sub.sub_id: 0}
+        c.actions = None
+        return c, qs
+
+    def test_stale_release_event_cannot_deliver_early(self):
+        from repro.engine.tuples import StreamTuple
+
+        c, qs = self._mini_cluster()
+        loop = c.loop
+        seq = iter(range(1, 10))
+
+        def publish():
+            t = loop.now
+            tup = StreamTuple("S0", {"value": 1, "timestamp": t})
+            c._publish_rows(0, [(next(seq), tup)])
+
+        # x1 published at t=1.0, release 2.0 (slack 1s)
+        loop.schedule(1.0, publish)
+        # mid-drain at t=1.5: x1 force-delivered, its release event at
+        # t=2.0 is now stale but still queued
+        loop.schedule(1.5, lambda: c._drain_unit_completely(qs))
+        # x2 published at t=1.8, release max(2.8, last_release)=2.8
+        loop.schedule(1.8, publish)
+        loop.run()
+        # x2 must be delivered at ITS release (latency 1.0s), not when
+        # the stale t=2.0 event fires (latency 0.2s)
+        assert c.results_total == 2
+        assert qs.lat_max == pytest.approx(1.0)
+
+
 def churn_scenario() -> ScenarioParams:
     return ScenarioParams(
         duration=20.0,
