@@ -13,23 +13,25 @@ Two scenarios land in ``BENCH_core.json``:
   discrete-event scenario (churn + hot spot + adaptation) run on the
   scalar and batch data planes, asserting bit-identical traces,
   delivery results, link traffic and CPU counters, and recording the
-  end-to-end wall-clock on each plane.
+  end-to-end wall-clock on each plane.  A third, profiled run must
+  attribute at least ``obs_min_attribution`` of its wall clock to named
+  subsystems (the observability acceptance gate).
 """
 
 from __future__ import annotations
 
 import json
-import time
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..engine import Engine, StreamTuple, TupleBatch
+from ..obs import Observer
 from ..query.parser import parse_query
 from ..sim import ChurnParams, HotSpotShift, ScenarioParams, run_scenario
 from .scenarios import scenario
 from .sim_scenarios import _topology, _workload, sim_settings
-from .timers import measure
+from .timers import Stopwatch, measure
 
 __all__ = ["engine_settings"]
 
@@ -201,8 +203,8 @@ def bench_sim_batch(scale: Dict) -> Dict:
             use_batches=use_batches,
         )
 
-    def run(use_batches: bool):
-        t0 = time.perf_counter()
+    def run(use_batches: bool, observer=None):
+        watch = Stopwatch()
         report = run_scenario(
             seed=sim["seed"],
             topology=_topology(sim),
@@ -211,8 +213,9 @@ def bench_sim_batch(scale: Dict) -> Dict:
             workload=_workload(sim),
             scenario=params(use_batches),
             record=True,
+            observer=observer,
         )
-        return report, time.perf_counter() - t0
+        return report, watch.elapsed()
 
     scalar, ref_s = run(False)
     batched, fast_s = run(True)
@@ -227,6 +230,24 @@ def bench_sim_batch(scale: Dict) -> Dict:
     assert scalar.cpu_costs == batched.cpu_costs, (
         "sim_batch: CPU counters diverged"
     )
+
+    # the same batched run once more under the subsystem profiler: the
+    # observed trace must still match, and the profiler must attribute
+    # at least ``obs_min_attribution`` of the run's wall clock to named
+    # subsystems (event loop, dissemination, operators, coordinator, ...)
+    obs = Observer(span_sample_every=0)
+    profiled, _ = run(True, observer=obs)
+    assert profiled.results == batched.results, (
+        "sim_batch: profiled run diverged from the unobserved one"
+    )
+    profile = obs.export()["profile"]
+    coverage = profile["coverage"]
+    min_attribution = sim.get("obs_min_attribution")
+    if min_attribution is not None:
+        assert coverage >= min_attribution, (
+            f"profiler attributed only {coverage:.1%} of sim_batch wall "
+            f"time, below the {min_attribution:.0%} acceptance gate"
+        )
     return {
         "params": {
             "processors": sim["processors"],
@@ -245,5 +266,10 @@ def bench_sim_batch(scale: Dict) -> Dict:
             "identical_results": True,
             "identical_link_bytes": True,
             "identical_cpu": True,
+        },
+        "profile": {
+            "coverage": coverage,
+            "wall_s": profile["wall_s"],
+            "totals_s": profile["totals_s"],
         },
     }

@@ -68,6 +68,9 @@ SCALES: Dict[str, Dict] = {
             fault_pool=6,
             fault_window_range=(2, 4),
             fault_checkpoint_interval=3.0,
+            obs_duration=10.0,
+            obs_sample_every=16,
+            obs_min_attribution=0.9,
         ),
         engine=dict(
             sweep=[(4096, 5, 0.5), (4096, 10, 0.3)],
@@ -96,6 +99,9 @@ SCALES: Dict[str, Dict] = {
             fault_duration=24.0,
             fault_window_range=(2, 4),
             fault_checkpoint_interval=4.0,
+            obs_duration=16.0,
+            obs_sample_every=16,
+            obs_min_attribution=0.9,
         ),
         engine=dict(
             sweep=[(10240, 5, 0.5), (10240, 15, 0.3), (20480, 20, 0.3)],
@@ -134,6 +140,13 @@ SCALES: Dict[str, Dict] = {
             fault_duration=30.0,
             fault_window_range=(2, 4),
             fault_checkpoint_interval=5.0,
+            # ISSUE 7 acceptance gates: the observed run stays within 10%
+            # of the unobserved wall clock, and the profiler attributes
+            # >= 90% of the sim_batch run to named subsystems
+            obs_duration=20.0,
+            obs_sample_every=16,
+            obs_max_overhead=1.10,
+            obs_min_attribution=0.9,
         ),
         engine=dict(
             sweep=[

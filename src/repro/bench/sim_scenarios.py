@@ -30,6 +30,12 @@ benchmarks:
   post-recovery oracle parity for the hosted ones), the first combo is
   run twice and must be bit-identical, and a no-recovery baseline must
   lose strictly more results than the checkpoint policy.
+* ``sim_obs``     -- the observability layer's two contracts: a churn
+  scenario recorded with the observer off, on at full span sampling and
+  on at the configured sampling rate must be bit-identical in traces,
+  per-query results, link bytes and CPU counters (no perturbation), and
+  the observed run's best-of-N end-to-end wall clock must stay within
+  ``obs_max_overhead`` of the unobserved baseline.
 
 For the first three there is no reference/fast split: the wall time
 recorded there is the simulator's own cost trajectory, and the
@@ -39,11 +45,11 @@ recorded there is the simulator's own cost trajectory, and the
 from __future__ import annotations
 
 import json
-import time
 from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..obs import Observer
 from ..pubsub import Advertisement, Event, Filter, PubSubNetwork, Subscription
 from ..query.interest import SubstreamSpace
 from ..sim import (
@@ -59,7 +65,7 @@ from ..sim import (
 from ..topology.overlay import minimum_latency_spanning_tree
 from ..topology.transit_stub import TransitStubParams
 from .scenarios import SyntheticOracle, scenario
-from .timers import measure
+from .timers import Stopwatch, measure
 
 __all__ = ["sim_settings"]
 
@@ -90,7 +96,7 @@ def _topology(sim: Dict) -> TransitStubParams:
 
 
 def _run(sim: Dict, params: ScenarioParams):
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     report = run_scenario(
         seed=sim["seed"],
         topology=_topology(sim),
@@ -99,7 +105,7 @@ def _run(sim: Dict, params: ScenarioParams):
         workload=_workload(sim),
         scenario=params,
     )
-    return report, time.perf_counter() - t0
+    return report, watch.elapsed()
 
 
 def _base_result(sim: Dict, report, wall: float) -> Dict:
@@ -344,7 +350,7 @@ def bench_sim_sharing(scale: Dict) -> Dict:
         )
 
         def run(use_sharing: bool, dur: float, record: bool):
-            t0 = time.perf_counter()
+            watch = Stopwatch()
             report = run_scenario(
                 seed=sim["seed"],
                 topology=_topology(sim),
@@ -354,7 +360,7 @@ def bench_sim_sharing(scale: Dict) -> Dict:
                 scenario=params(use_sharing, dur),
                 record=record,
             )
-            return report, time.perf_counter() - t0
+            return report, watch.elapsed()
 
         unshared, ref_s = run(False, duration, False)
         shared, fast_s = run(True, duration, False)
@@ -445,7 +451,7 @@ def bench_sim_faults(scale: Dict) -> Dict:
         )
 
     def run(p: ScenarioParams):
-        t0 = time.perf_counter()
+        watch = Stopwatch()
         report = run_scenario(
             seed=sim["seed"],
             topology=_topology(sim),
@@ -455,7 +461,7 @@ def bench_sim_faults(scale: Dict) -> Dict:
             scenario=p,
             record=True,
         )
-        return report, time.perf_counter() - t0
+        return report, watch.elapsed()
 
     def crashed(report) -> set:
         hit: set = set()
@@ -546,6 +552,94 @@ def bench_sim_faults(scale: Dict) -> Dict:
             "loss_without_recovery": loss_none,
         },
         "sweep": sweep,
+    }
+
+
+@scenario("sim_obs")
+def bench_sim_obs(scale: Dict) -> Dict:
+    """Observability: no-perturbation parity plus the overhead gate."""
+    sim = sim_settings(scale)
+    sample_every = sim.get("obs_sample_every", 16)
+    repeat = sim.get("obs_repeat", 3)
+    params = ScenarioParams(
+        duration=sim.get("obs_duration", sim["duration"]),
+        sample_interval=sim["sample_interval"],
+        adapt_interval=sim["adapt_interval"],
+        initial_placement="skewed",
+        churn=ChurnParams(
+            arrival_rate=sim["churn_arrival"],
+            mean_lifetime=sim["churn_lifetime"],
+        ),
+    )
+
+    def run(record: bool, observer=None):
+        return run_scenario(
+            seed=sim["seed"],
+            topology=_topology(sim),
+            num_sources=sim["sources"],
+            num_processors=sim["processors"],
+            workload=_workload(sim),
+            scenario=params,
+            record=record,
+            observer=observer,
+        )
+
+    def digest(report) -> str:
+        return json.dumps(
+            {
+                "trace": report.trace.to_dict(),
+                "results": {str(k): v for k, v in report.results.items()},
+                "link_bytes": sorted(
+                    (list(k), v) for k, v in report.link_bytes.items()
+                ),
+                "cpu_costs": {str(k): v for k, v in report.cpu_costs.items()},
+            },
+            sort_keys=True,
+        )
+
+    # no-perturbation: off vs full sampling vs the configured rate
+    base = digest(run(True))
+    full_obs = Observer(span_sample_every=1)
+    assert digest(run(True, full_obs)) == base, (
+        "observer at full span sampling perturbed the simulation"
+    )
+    sampled_obs = Observer(span_sample_every=sample_every)
+    assert digest(run(True, sampled_obs)) == base, (
+        f"observer at 1/{sample_every} span sampling perturbed the simulation"
+    )
+    export = sampled_obs.export()
+
+    # overhead: unrecorded timed runs, best-of-N on both sides
+    _, base_t = measure(lambda: run(False), repeat=repeat)
+    _, obs_t = measure(
+        lambda: run(False, Observer(span_sample_every=sample_every)),
+        repeat=repeat,
+    )
+    overhead = obs_t.best / base_t.best
+    max_overhead = sim.get("obs_max_overhead")
+    if max_overhead is not None:
+        assert overhead <= max_overhead, (
+            f"observed run {overhead:.3f}x the unobserved baseline, above "
+            f"the {max_overhead:g}x acceptance gate"
+        )
+    profile = export.get("profile") or {}
+    return {
+        "params": {
+            "processors": sim["processors"],
+            "substreams": sim["substreams"],
+            "initial_queries": sim["queries"],
+            "duration_s": params.duration,
+            "span_sample_every": sample_every,
+        },
+        "reference_s": base_t.best,
+        "fast_s": obs_t.best,
+        "overhead": overhead,
+        "parity": {
+            "identical_off_on_sampled": True,
+            "spans": len(export.get("spans") or []),
+            "counters": len((export.get("metrics") or {}).get("counters", {})),
+            "profile_coverage": profile.get("coverage"),
+        },
     }
 
 

@@ -1,49 +1,13 @@
-"""Wall-clock timing helpers for the benchmark scenarios."""
+"""Wall-clock timing helpers for the benchmark scenarios.
+
+The implementations live in :mod:`repro.obs.timing` — the shared
+timing code path for bench harnesses, one-shot stopwatches and the
+subsystem profiler.  This module re-exports them so existing
+``repro.bench.timers`` imports keep working.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Any, Callable, Tuple
+from ..obs.timing import Stopwatch, Timing, measure
 
-__all__ = ["Timing", "measure"]
-
-
-@dataclass(frozen=True)
-class Timing:
-    """Aggregate of repeated timed runs of one callable.
-
-    ``best`` is the headline number (least noise on a shared machine);
-    ``mean`` and ``repeat`` qualify it.
-    """
-
-    best: float
-    mean: float
-    repeat: int
-
-    def as_dict(self) -> dict:
-        """JSON-ready representation (seconds, floats)."""
-        return {"best_s": self.best, "mean_s": self.mean, "repeat": self.repeat}
-
-
-def measure(
-    fn: Callable[[], Any], repeat: int = 3, warmup: int = 0
-) -> Tuple[Any, Timing]:
-    """Time ``fn()`` ``repeat`` times; returns (last result, timing).
-
-    ``warmup`` extra untimed calls run first (JIT-less Python still
-    benefits: imports, caches and allocator warm-up).
-    """
-    if repeat < 1:
-        raise ValueError("repeat must be >= 1")
-    for _ in range(warmup):
-        fn()
-    result = None
-    samples = []
-    for _ in range(repeat):
-        t0 = time.perf_counter()
-        result = fn()
-        samples.append(time.perf_counter() - t0)
-    return result, Timing(
-        best=min(samples), mean=sum(samples) / len(samples), repeat=repeat
-    )
+__all__ = ["Timing", "measure", "Stopwatch"]

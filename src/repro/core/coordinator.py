@@ -34,6 +34,7 @@ import random
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import registry as _obs
 from ..query.interest import SubstreamSpace
 from ..query.workload import QuerySpec
 from ..topology.latency import LatencyOracle
@@ -218,6 +219,9 @@ class Coordinator:
             t0 = time.perf_counter()  # exclude children's time from ours
 
         if len(incoming) > self.vmax:
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.inc("opt.coarsen_invocations")
+                _obs.ACTIVE.inc("opt.coarsen_input_vertices", len(incoming))
             graph = build_query_graph(
                 incoming, self.space, self.ng, self.max_overlap_neighbors
             )
@@ -318,6 +322,9 @@ class Coordinator:
 
         self._invalidate_routing_state()
         if len(vertices) > self.vmax:
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.inc("opt.coarsen_invocations")
+                _obs.ACTIVE.inc("opt.coarsen_input_vertices", len(vertices))
             coarse = coarsen(
                 self.qg, self.vmax, self.space, origin=self.name, rng=self.rng
             )
@@ -343,6 +350,8 @@ class Coordinator:
         children that already host overlapping queries.
         """
         t0 = time.perf_counter()
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.inc("opt.insert_hops")
         self._ensure_routing_state()
         w = v.weight
         total_q = self._total_weight + w
@@ -385,6 +394,8 @@ class Coordinator:
         self.cpu_time += time.perf_counter() - t0
 
         if self.is_leaf:
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.inc("opt.insertions")
             processor = self.ng.site(target)
             for query_id in v.members:
                 self.placement[query_id] = processor
@@ -409,6 +420,8 @@ class Coordinator:
         when the query is unknown to this subtree.
         """
         found = self._remove_query_level(query_id)
+        if found and _obs.ACTIVE is not None:
+            _obs.ACTIVE.inc("opt.removals")
         if found:
             # descendants sharing a stripped coarse object may have had
             # their vertices cleaned without noticing (their own owner
@@ -625,6 +638,10 @@ class Coordinator:
             self.qg, self.ng, self.assignment, original,
             alpha=self.alpha, rng=self.rng, workspace=ws,
         )
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.inc("opt.adapt_levels")
+            _obs.ACTIVE.inc("opt.diffusion_moves", stats.moved_vertices)
+            _obs.ACTIVE.inc("opt.refinement_moves", refinement)
         report.absorb(stats, refinement)
         report.migrated_state += stats.moved_state
         if not self.is_leaf:

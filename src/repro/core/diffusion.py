@@ -23,6 +23,8 @@ from typing import Dict, Hashable, List, Tuple
 
 import numpy as np
 
+from ..obs import registry as _obs
+
 __all__ = ["diffusion_solution", "diffusion_solution_reference"]
 
 Flows = Dict[Tuple[Hashable, Hashable], float]
@@ -95,6 +97,9 @@ def diffusion_solution(
     exactly, and ``b / n`` has zero mean, i.e. it *is* the minimum-norm
     solution the generic least-squares path converges to.
     """
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.inc("opt.diffusion_solves")
+        _obs.ACTIVE.inc("opt.diffusion_nodes", len(loads))
     n = len(loads)
     if n <= 1:
         return {}

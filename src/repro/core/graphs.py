@@ -27,6 +27,7 @@ from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional
 import numpy as np
 from scipy import sparse
 
+from ..obs import registry as _obs
 from ..query.interest import SubstreamSpace, iter_bits
 from ..query.workload import QuerySpec
 
@@ -325,6 +326,8 @@ class QueryGraph:
         against an unchanged graph cost one vectorised gather each.
         :meth:`wec_reference` keeps the pure-Python definition.
         """
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.inc("opt.wec_evaluations")
         return self.arrays_for(ng).wec(mapping)
 
     def wec_reference(self, mapping: Mapping, ng: NetworkGraph) -> float:

@@ -256,6 +256,13 @@ class Engine:
         """Per-query tuples-inspected counters (load statistics)."""
         return {name: plan.cpu_cost() for name, plan in self.plans.items()}
 
+    def operator_metrics(self) -> Dict[str, Dict[str, int]]:
+        """Per-plan operator counters (observability snapshot)."""
+        return {
+            name: plan.operator_counters()
+            for name, plan in self.plans.items()
+        }
+
     def state_sizes(self) -> Dict[str, int]:
         """Per-query operator state (window extents), for migration cost."""
         return {name: plan.state_size() for name, plan in self.plans.items()}

@@ -332,6 +332,15 @@ class WindowJoin(Operator):
             total += len(self.right_cols)
         return total
 
+    def evicted(self) -> int:
+        """Total tuples evicted from both windows (monotone counter)."""
+        total = self.left_window.evicted + self.right_window.evicted
+        if self.left_cols is not None:
+            total += self.left_cols.evicted
+        if self.right_cols is not None:
+            total += self.right_cols.evicted
+        return total
+
     def _sides(self, alias: str):
         if alias == self.left_alias:
             return "left", self.left_alias, self.right_alias

@@ -180,6 +180,23 @@ class QueryPlan:
         total += self.project.inspected
         return total
 
+    def operator_counters(self) -> Dict[str, int]:
+        """Per-operator monotone counters, for the observability layer.
+
+        Counters only (never gauges), so deltas between two snapshots of
+        a running plan are non-negative — the span recorder diffs them
+        to attribute operator work to a tracked tuple's delivery.
+        """
+        out: Dict[str, int] = {}
+        for alias in sorted(self.selects):
+            out[f"select.{alias}.inspected"] = self.selects[alias].inspected
+        if self.join is not None:
+            out["join.inspected"] = self.join.inspected
+            out["join.evicted"] = self.join.evicted()
+        out["project.inspected"] = self.project.inspected
+        out["results_emitted"] = self.results_emitted
+        return out
+
     def state_size(self) -> int:
         """Tuples held in operator state (join windows); 0 without a join."""
         return self.join.state_size() if self.join is not None else 0

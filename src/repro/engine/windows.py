@@ -35,6 +35,8 @@ class SlidingWindow:
         self.spec = spec
         self._buf: Deque[StreamTuple] = deque()
         self._last_ts: Optional[float] = None
+        #: total tuples dropped from this extent (row cap or horizon)
+        self.evicted: int = 0
 
     def clone(self) -> "SlidingWindow":
         """An independent copy of the extent (tuples are shared, the
@@ -42,6 +44,7 @@ class SlidingWindow:
         out = SlidingWindow(self.spec)
         out._buf = deque(self._buf)
         out._last_ts = self._last_ts
+        out.evicted = self.evicted
         return out
 
     def insert(self, t: StreamTuple) -> None:
@@ -55,6 +58,7 @@ class SlidingWindow:
         if self.spec.rows is not None:
             while len(self._buf) > self.spec.rows:
                 self._buf.popleft()
+                self.evicted += 1
         else:
             self.evict(t.timestamp)
 
@@ -65,6 +69,7 @@ class SlidingWindow:
         horizon = now - self.spec.seconds
         while self._buf and self._buf[0].timestamp < horizon:
             self._buf.popleft()
+            self.evicted += 1
 
     def contents(self, now: Optional[float] = None) -> List[StreamTuple]:
         """Current window extent (evicting up to ``now`` first)."""
@@ -103,6 +108,8 @@ class ColumnWindow:
         self._start = 0
         self._end = 0
         self._last_ts: Optional[float] = None
+        #: total rows dropped from this extent (row cap or horizon)
+        self.evicted: int = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -136,6 +143,7 @@ class ColumnWindow:
         out._start = self._start
         out._end = self._end
         out._last_ts = self._last_ts
+        out.evicted = self.evicted
         return out
 
     # ------------------------------------------------------------------
@@ -230,6 +238,7 @@ class ColumnWindow:
             excess = (self._end - self._start) - self.spec.rows
             if excess > 0:
                 self._start += excess
+                self.evicted += excess
         else:
             self.evict(float(ts[-1]))
 
@@ -238,11 +247,13 @@ class ColumnWindow:
         if self.spec.rows is not None:
             return
         horizon = now - self.spec.seconds
-        self._start += int(
+        dropped = int(
             np.searchsorted(
                 self._ts[self._start:self._end], horizon, side="left"
             )
         )
+        self._start += dropped
+        self.evicted += dropped
 
     def to_tuples(self, stream: str) -> List[StreamTuple]:
         """The live extent as scalar tuples (state handoff, debugging)."""

@@ -1,0 +1,170 @@
+"""The :class:`Observer` facade: one object per observed run.
+
+An observer bundles the three instruments — metrics registry, span
+recorder, subsystem profiler — behind a single handle the simulator
+threads through its layers.  ``run_scenario(observer=...)`` wires it
+up; ``None`` (the default) keeps every instrumented call site on its
+zero-cost "nobody is watching" branch.
+
+The no-perturbation contract: an observer only *reads* simulated state.
+It never draws from an rng, never schedules events, and never feeds a
+wall-clock value back into the simulation, so seeded runs are
+bit-identical in traces, per-query results, link bytes and cpu_costs
+with observability off, on, or at any sampling rate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from . import registry as _registry
+from .profiler import SubsystemProfiler
+from .registry import MetricsRegistry
+from .spans import SpanRecorder
+from .timing import Stopwatch
+
+__all__ = ["Observer", "SCHEMA"]
+
+#: export schema tag; bump when the envelope shape changes
+SCHEMA = "cosmos-obs/1"
+
+
+class Observer:
+    """Per-run bundle of registry, span recorder and profiler.
+
+    Any instrument can be switched off independently: ``metrics=False``
+    skips the registry, ``profile=False`` the profiler, and
+    ``span_sample_every=0`` disables span recording entirely (a positive
+    value samples every Nth emitted tuple, ``1`` = all).
+    """
+
+    def __init__(
+        self,
+        *,
+        span_sample_every: int = 64,
+        metrics: bool = True,
+        profile: bool = True,
+    ) -> None:
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if metrics else None
+        )
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(span_sample_every) if span_sample_every else None
+        )
+        self.profiler: Optional[SubsystemProfiler] = (
+            SubsystemProfiler() if profile else None
+        )
+        self.seed: Optional[int] = None
+        self.wall_s: float = 0.0
+        self._watch: Optional[Stopwatch] = None
+        #: counters of plans/engines that retired before run end (crash,
+        #: departure, query removal); folded into the final snapshot
+        self._retired_engines: Dict[int, Dict[str, Dict[str, int]]] = {}
+        self._snapshot: Dict = {}
+
+    # -- lifecycle ------------------------------------------------------
+    def begin(self, seed: int) -> None:
+        """Called by ``run_scenario`` before the cluster is built."""
+        self.seed = seed
+        self._watch = Stopwatch()
+        if self.registry is not None:
+            _registry.set_active(self.registry)
+
+    def finish(self, cluster) -> None:
+        """Snapshot final cluster state; called after the run completes."""
+        if self._watch is not None:
+            self.wall_s = self._watch.elapsed()
+        if self.registry is not None:
+            _registry.set_active(None)
+        engines: Dict[str, Dict] = {}
+        for node in sorted(self._retired_engines):
+            engines[str(node)] = {
+                name: dict(counters)
+                for name, counters in self._retired_engines[node].items()
+            }
+        for node in sorted(cluster.engines):
+            live = cluster.engines[node].operator_metrics()
+            merged = engines.setdefault(str(node), {})
+            for name, counters in live.items():
+                prior = merged.get(name)
+                if prior is not None:
+                    # a plan name can retire (crash, migration teardown)
+                    # and later live again on the same node -- sum, don't
+                    # clobber the retired counters
+                    for key, value in counters.items():
+                        prior[key] = prior.get(key, 0) + value
+                else:
+                    merged[name] = dict(counters)
+        brokers = {
+            str(node): {"delivered_total": broker.delivered_total}
+            for node, broker in sorted(cluster.network.brokers.items())
+        }
+        links = {
+            f"{u}->{v}": amount
+            for (u, v), amount in sorted(cluster.network.link_bytes.items())
+        }
+        if self.registry is not None:
+            # flat aggregates over the merged per-plan counter dicts
+            agg: Dict[str, float] = {}
+            for per_node in engines.values():
+                for plan_counters in per_node.values():
+                    for key, value in plan_counters.items():
+                        agg[key] = agg.get(key, 0) + value
+            for key in sorted(agg):
+                self.registry.gauge(f"engine.total.{key}", agg[key])
+            self.registry.gauge(
+                "network.total_link_bytes", sum(links.values())
+            )
+            self.registry.gauge(
+                "broker.total_delivered",
+                sum(b["delivered_total"] for b in brokers.values()),
+            )
+        self._snapshot = {
+            "engines": engines,
+            "brokers": brokers,
+            "links": links,
+        }
+
+    # -- retirement hooks (crash / departure / query removal) -----------
+    def plan_retired(self, node: int, name: str, plan) -> None:
+        """Preserve a removed plan's counters before the plan is dropped."""
+        per_node = self._retired_engines.setdefault(node, {})
+        counters = plan.operator_counters()
+        prior = per_node.get(name)
+        if prior is not None:
+            for key, value in counters.items():
+                prior[key] = prior.get(key, 0) + value
+        else:
+            per_node[name] = counters
+
+    def engine_retired(self, node: int, engine) -> None:
+        """Preserve a whole engine's counters before it is torn down."""
+        for name, counters in engine.operator_metrics().items():
+            per_node = self._retired_engines.setdefault(node, {})
+            prior = per_node.get(name)
+            if prior is not None:
+                for key, value in counters.items():
+                    prior[key] = prior.get(key, 0) + value
+            else:
+                per_node[name] = counters
+
+    # -- export ---------------------------------------------------------
+    def export(self) -> Dict:
+        """JSON-ready record of the whole observed run."""
+        out: Dict = {"schema": SCHEMA, "seed": self.seed, "wall_s": self.wall_s}
+        out["metrics"] = (
+            self.registry.to_dict() if self.registry is not None else None
+        )
+        out["spans"] = self.spans.to_list() if self.spans is not None else None
+        out["profile"] = (
+            self.profiler.to_dict(self.wall_s)
+            if self.profiler is not None
+            else None
+        )
+        out.update(self._snapshot)
+        return out
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.export(), fh, indent=2, sort_keys=True)

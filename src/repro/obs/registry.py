@@ -1,0 +1,83 @@
+"""Metrics registry: counters, gauges and histograms for one run.
+
+A :class:`MetricsRegistry` is a plain in-memory accumulator.  All values
+are derived from *simulated* quantities (event counts, tuple counts,
+bytes), never from wall clocks or rngs, so recording them cannot
+perturb a seeded run.
+
+Instrumented call sites fall in two groups:
+
+* components the simulator wires an :class:`~repro.obs.observer.Observer`
+  into (network, cluster, fault injector) read their registry off that
+  observer;
+* library code with no path to the observer (the coordinator tree, the
+  WEC evaluator, the diffusion solver) reports to the module-global
+  :data:`ACTIVE` registry, set for the duration of an observed run via
+  :func:`set_active`.  When no run is observed ``ACTIVE`` is ``None``
+  and the instrumentation is a single attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["MetricsRegistry", "ACTIVE", "set_active"]
+
+
+class MetricsRegistry:
+    """Counters (monotone), gauges (last value), histograms (all values).
+
+    Metric names are dotted strings (``"broker.index_probes"``).  The
+    exported dict is deterministic: keys sorted, values plain ints and
+    floats.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, List[float]] = {}
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms.setdefault(name, []).append(value)
+
+    # -- export ---------------------------------------------------------
+    @staticmethod
+    def _hist_summary(values: List[float]) -> Dict:
+        ordered = sorted(values)
+        n = len(ordered)
+        return {
+            "count": n,
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": ordered[n // 2],
+            "p95": ordered[min(n - 1, (n * 95) // 100)],
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-ready, deterministically ordered snapshot."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self._hist_summary(v)
+                for k, v in sorted(self.histograms.items())
+            },
+        }
+
+
+#: registry for the currently observed run, or ``None`` (see module doc)
+ACTIVE: Optional[MetricsRegistry] = None
+
+
+def set_active(registry: Optional[MetricsRegistry]) -> None:
+    """Install (or clear, with ``None``) the process-wide registry."""
+    global ACTIVE
+    ACTIVE = registry

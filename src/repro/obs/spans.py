@@ -1,0 +1,107 @@
+"""Provenance spans: per-result causal records in simulated time.
+
+A span traces one *sampled* source tuple from emission through every
+hop it takes — broker forwarding, queueing at a delivery unit, engine
+execution, shared-group carve, sink delivery — plus annotations for
+lifecycle events (migration, crash, query removal) that touched it
+while in flight.
+
+Two properties keep spans perturbation-free:
+
+* **Sampling is keyed off tuple identity** — the emission sequence
+  number — never an rng.  ``seq % sample_every == 0`` selects the same
+  tuples in every seeded run regardless of whether anyone is watching.
+* **All recorded times are simulated time.**  The recorder only reads
+  state the simulator already computed; it draws nothing, schedules
+  nothing, and allocates only on its own behalf.
+
+Tuples are tracked by object identity: the simulator threads the same
+``StreamTuple`` object from emission to delivery (batches carry the
+original objects in their row tuples), so ``id()`` is a stable key for
+a tuple's lifetime.  The recorder holds a reference to each tracked
+tuple, which both prevents id reuse and keeps lookups O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+class Span:
+    """The causal record of one sampled tuple."""
+
+    __slots__ = ("seq", "substream", "t_emit", "hops", "annotations")
+
+    def __init__(self, seq: int, substream: int, t_emit: float) -> None:
+        self.seq = seq
+        self.substream = substream
+        self.t_emit = t_emit
+        #: ordered (kind, t, fields) hops: publish / queued / engine /
+        #: carve / sink
+        self.hops: List[Dict] = []
+        #: out-of-band events that touched this tuple while in flight
+        self.annotations: List[Dict] = []
+
+    def hop(self, kind: str, t: float, **fields) -> None:
+        self.hops.append({"kind": kind, "t": round(t, 9), **fields})
+
+    def annotate(self, kind: str, t: float, **fields) -> None:
+        self.annotations.append({"kind": kind, "t": round(t, 9), **fields})
+
+    def to_dict(self) -> Dict:
+        return {
+            "seq": self.seq,
+            "substream": self.substream,
+            "t_emit": round(self.t_emit, 9),
+            "hops": self.hops,
+            "annotations": self.annotations,
+        }
+
+
+class SpanRecorder:
+    """Samples tuples by sequence number and records their spans."""
+
+    def __init__(self, sample_every: int = 64) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        #: id(tuple) -> (tuple ref, span); the ref pins the id
+        self._by_tuple: Dict[int, tuple] = {}
+        self.spans: List[Span] = []
+
+    # -- sampling -------------------------------------------------------
+    def wants(self, seq: int) -> bool:
+        """Deterministic sampling decision for emission number ``seq``."""
+        return seq % self.sample_every == 0
+
+    def begin(self, seq: int, substream: int, tup, t: float) -> Span:
+        """Start tracking ``tup`` (already decided by :meth:`wants`)."""
+        span = Span(seq, substream, t)
+        self.spans.append(span)
+        self._by_tuple[id(tup)] = (tup, span)
+        return span
+
+    def lookup(self, tup) -> Optional[Span]:
+        """The span tracking ``tup``, or ``None`` if it is unsampled."""
+        entry = self._by_tuple.get(id(tup))
+        if entry is not None and entry[0] is tup:
+            return entry[1]
+        return None
+
+    # -- recording ------------------------------------------------------
+    def hop(self, tup, kind: str, t: float, **fields) -> None:
+        span = self.lookup(tup)
+        if span is not None:
+            span.hop(kind, t, **fields)
+
+    def annotate(self, tup, kind: str, t: float, **fields) -> None:
+        span = self.lookup(tup)
+        if span is not None:
+            span.annotate(kind, t, **fields)
+
+    # -- export ---------------------------------------------------------
+    def to_list(self) -> List[Dict]:
+        """All spans in emission order, JSON-ready."""
+        return [s.to_dict() for s in self.spans]

@@ -11,10 +11,10 @@ against COSMOS in Figure 11.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.timing import Stopwatch
 from ..topology.latency import LatencyOracle
 from .operator_graph import OperatorGraph
 
@@ -52,7 +52,7 @@ def place_operators(
     seed: int = 0,
 ) -> PlacementResult:
     """Greedy iterative placement of the movable operators."""
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     rng = random.Random(seed)
     candidates = list(candidate_nodes)
 
@@ -109,7 +109,7 @@ def place_operators(
         assignment=assignment,
         cost=cost,
         sweeps=sweeps,
-        elapsed=time.perf_counter() - t0,
+        elapsed=watch.elapsed(),
     )
 
 

@@ -25,6 +25,10 @@ class Broker:
     record_deliveries: bool = True
     #: forwarded to :class:`RoutingTable` when the table is auto-created
     use_index: bool = True
+    #: lifetime count of local deliveries -- always on (a single int
+    #: add), unlike the ``delivered`` log; the observability layer reads
+    #: it at run end
+    delivered_total: int = 0
 
     def __post_init__(self):
         if self.table is None:
@@ -53,6 +57,7 @@ class Broker:
             if self.record_deliveries:
                 self.delivered.append((projected, sub))
             out.append((projected, sub))
+        self.delivered_total += len(out)
         return out
 
     def needed_attributes(self, event: Event, iface: Interface) -> Optional[Set[str]]:

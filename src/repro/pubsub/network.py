@@ -75,6 +75,10 @@ class PubSubNetwork:
         #: advertise / unadvertise, so callers can memoise routing-derived
         #: state and invalidate it exactly when tables may have changed
         self.version = 0
+        #: optional :class:`repro.obs.Observer`; when set, its metrics
+        #: registry receives broker-level counters (probes, forwards,
+        #: suppressions, repairs).  Reads only -- never affects routing.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # control plane
@@ -82,6 +86,9 @@ class PubSubNetwork:
     def advertise(self, source: int, adv: Advertisement, size: float = 1.0) -> None:
         """Flood ``adv`` from ``source`` over the whole tree."""
         self.version += 1
+        obs = self.observer
+        if obs is not None and obs.registry is not None:
+            obs.registry.inc("broker.advertisements")
         self._advertiser[adv.adv_id] = (source, adv)
         self._broker(source).table.add_advertisement(adv, LOCAL)
         queue = deque([(source, None)])
@@ -115,6 +122,11 @@ class PubSubNetwork:
         ``force=True``; the call is idempotent.
         """
         self.version += 1
+        obs = self.observer
+        if obs is not None and obs.registry is not None:
+            obs.registry.inc("broker.subscribes")
+            if force:
+                obs.registry.inc("broker.covering_repairs")
         broker = self._broker(node)
         self._subscriber_node[sub.sub_id] = node
         broker.table.add_subscription(sub, LOCAL)
@@ -130,6 +142,9 @@ class PubSubNetwork:
             if iface == from_iface:
                 continue
             if not force and broker.table.covered_upstream(sub, toward=iface):
+                obs = self.observer
+                if obs is not None and obs.registry is not None:
+                    obs.registry.inc("broker.covering_suppressions")
                 continue
             nbr = iface
             assert isinstance(nbr, int)
@@ -253,11 +268,14 @@ class PubSubNetwork:
         indexed and reference paths.
         """
         deliveries: List[Tuple[int, Event, Subscription]] = []
+        probes = 0
+        forwards = 0
         queue = deque([(source, None, event)])
         while queue:
             node, arrived_via, ev = queue.popleft()
             broker = self._broker(node)
             match = broker.table.match_event(ev, arrived_via)
+            probes += 1
             for projected, sub in broker.deliver_matched(ev, match.local):
                 deliveries.append((node, projected, sub))
             for nbr in match.forward_order(LOCAL):
@@ -268,6 +286,13 @@ class PubSubNetwork:
                 forwarded = ev if needed is None else ev.project(needed)
                 self._account(self.link_bytes, node, nbr, forwarded.size)
                 queue.append((nbr, node, forwarded))
+                forwards += 1
+        obs = self.observer
+        if obs is not None and obs.registry is not None:
+            reg = obs.registry
+            reg.inc("broker.index_probes", probes)
+            reg.inc("broker.forwards", forwards)
+            reg.inc("broker.local_deliveries", len(deliveries))
         return deliveries
 
     def publish_batch(
@@ -289,6 +314,9 @@ class PubSubNetwork:
         diverge from per-tuple publishing; the sim parity suite pins the
         supported behaviour.
         """
+        obs = self.observer
+        if obs is not None and obs.registry is not None:
+            obs.registry.observe("broker.batch_rows", float(rows))
         event = Event(stream=stream, attributes={}, size=float(rows))
         return self.publish(source, event)
 

@@ -59,6 +59,7 @@ import numpy as np
 
 from ..core.cosmos import Cosmos, CosmosConfig
 from ..engine.executor import Engine
+from ..obs.observer import Observer
 from ..engine.plans import QueryPlan
 from ..engine.tuples import StreamTuple, TupleBatch
 from ..pubsub.messages import Event
@@ -323,6 +324,7 @@ class SimCluster:
         spares: Optional[List[int]] = None,
         seed: int = 0,
         record: bool = False,
+        observer: Optional[Observer] = None,
     ):
         self.oracle = oracle
         self.sources = list(sources)
@@ -338,6 +340,14 @@ class SimCluster:
         self.record = record
 
         self.loop = EventLoop()
+        #: optional :class:`repro.obs.Observer`.  Read-only taps: spans,
+        #: metrics and profiler sections all consume state the simulation
+        #: computes anyway, so ``obs`` never changes a run's behaviour.
+        #: Wired before the network exists so even construction-time
+        #: broker activity (source advertisements) is metered.
+        self.obs = observer
+        if observer is not None:
+            self.loop.profiler = observer.profiler
         self.trace = SimTrace(seed=seed)
         overlay = minimum_latency_spanning_tree(
             self.sources + self.processors + self.spares, oracle
@@ -345,6 +355,7 @@ class SimCluster:
         self.network = PubSubNetwork(
             overlay, record_deliveries=False, use_index=params.use_index
         )
+        self.network.observer = observer
         from ..pubsub.subscriptions import Advertisement
 
         for sid in range(len(space)):
@@ -674,9 +685,12 @@ class SimCluster:
         self._flush_batches()
         now = self.loop.now
         qs.alive = False
+        gs = self.groups[qs.group]
+        self._annotate_pending(
+            gs, "query_remove", query=query_id, group=gs.gid
+        )
         if self.actions is not None:
             self.actions.append(("remove", qs.simq))
-        gs = self.groups[qs.group]
         self._replace_result_sub(
             qs,
             split_subscription(
@@ -759,7 +773,9 @@ class SimCluster:
             return
         self._drain_unit_completely(gs)
         gs.detached = True
-        self.engines[gs.host].remove_query(gs.name)
+        plan = self.engines[gs.host].remove_query(gs.name)
+        if self.obs is not None:
+            self.obs.plan_retired(gs.host, gs.name, plan)
         self.network.unadvertise(gs.adv.adv_id)
         host_list = self._host_groups.get(gs.host)
         if host_list and gid in host_list:
@@ -790,6 +806,7 @@ class SimCluster:
             return
         self._flush_batches()
         qs.alive = False
+        self._annotate_pending(qs, "query_remove", query=query_id)
         if self.actions is not None:
             self.actions.append(("remove", qs.simq))
         self.network.unsubscribe(qs.sub.sub_id)
@@ -818,7 +835,9 @@ class SimCluster:
             qs.pending_rel.clear()
             self._deliver_rows(qs, rows)
         qs.detached = True
-        self.engines[qs.host].remove_query(qs.name)
+        plan = self.engines[qs.host].remove_query(qs.name)
+        if self.obs is not None:
+            self.obs.plan_retired(qs.host, qs.name, plan)
 
     def _refresh_subscriptions(self, streams: Optional[set] = None) -> None:
         """Re-propagate live subscriptions (optionally: only those sharing
@@ -848,6 +867,23 @@ class SimCluster:
                 continue
             self.network.subscribe(qs.host, qs.sub, force=True)
 
+    def _annotate_pending(self, unit, kind: str, **fields) -> None:
+        """Annotate the spans of every tuple still queued on ``unit``.
+
+        Lifecycle events (migration, crash, removal) touch tuples that
+        are in flight; their provenance spans record the event so a
+        reader can see why a delivery was delayed or lost.
+        """
+        obs = self.obs
+        if obs is None or obs.spans is None:
+            return
+        spans = obs.spans
+        now = self.loop.now
+        for tup, _release in unit.pending:
+            spans.annotate(tup, kind, now, **fields)
+        for _ts, _seq, tup, _release in unit.pending_rel:
+            spans.annotate(tup, kind, now, **fields)
+
     def _migrate(self, query_id: int, new_host: int) -> float:
         """Move a query's plan (state included) to ``new_host``.
 
@@ -856,6 +892,8 @@ class SimCluster:
         """
         qs = self.queries[query_id]
         old = qs.host
+        self._annotate_pending(qs, "migrate", query=query_id, src=old,
+                               dst=new_host)
         plan = self.engines[old].remove_query(qs.name)
         self.engines[new_host].adopt_plan(plan)
         self.network.unsubscribe(qs.sub.sub_id)
@@ -891,6 +929,8 @@ class SimCluster:
 
         gs = self.groups[gid]
         old = gs.host
+        self._annotate_pending(gs, "migrate", group=gid, src=old,
+                               dst=new_host)
         plan = self.engines[old].remove_query(gs.name)
         self.engines[new_host].adopt_plan(plan)
         for sub in gs.p1_subs:
@@ -961,6 +1001,13 @@ class SimCluster:
             self.actions.append(("tuple", tup))
         rate = float(self.space.rates[sid])
         self._emit_seq += 1
+        obs = self.obs
+        if (
+            obs is not None
+            and obs.spans is not None
+            and obs.spans.wants(self._emit_seq)
+        ):
+            obs.spans.begin(self._emit_seq, sid, tup, t)
         if self._batching:
             pending = self._src_pending[sid]
             pending.append((self._emit_seq, tup))
@@ -995,7 +1042,19 @@ class SimCluster:
         if self._sharing:
             self._publish_rows_shared(sid, rows)
             return
+        obs = self.obs
+        profiler = obs.profiler if obs is not None else None
+        spans = obs.spans if obs is not None else None
+        if profiler is not None:
+            profiler.start("dissemination")
         source = int(self.space.source_of[sid])
+        if spans is not None:
+            for seq, tup in rows:
+                span = spans.lookup(tup)
+                if span is not None:
+                    span.hop(
+                        "publish", self.loop.now, substream=sid, source=source
+                    )
         if self._batching:
             deliveries = self.network.publish_batch(
                 source, stream_name(sid), len(rows)
@@ -1015,6 +1074,14 @@ class SimCluster:
                 release = max(tup.timestamp + qs.slack, qs.last_release)
                 qs.last_release = release
                 qs.pending.append((tup, release))
+                if spans is not None:
+                    span = spans.lookup(tup)
+                    if span is not None:
+                        span.hop(
+                            "queued", self.loop.now, query=query_id,
+                            host=qs.host, release=round(release, 9),
+                            overlay_hops=len(self._edges(source, qs.host)),
+                        )
                 self.loop.schedule(
                     release, partial(self._release_one, query_id)
                 )
@@ -1028,10 +1095,20 @@ class SimCluster:
                 # later timestamps (their batch flushed earlier)
                 bisect.insort(qs.pending_rel, (tup.timestamp, seq, tup, release))
                 release_last = release
+                if spans is not None:
+                    span = spans.lookup(tup)
+                    if span is not None:
+                        span.hop(
+                            "queued", self.loop.now, query=query_id,
+                            host=qs.host, release=round(release, 9),
+                            overlay_hops=len(self._edges(source, qs.host)),
+                        )
             when = max(release_last, self.loop.now)
             if when > qs.drain_at:
                 qs.drain_at = when
                 self.loop.schedule(when, partial(self._drain_query, query_id))
+        if profiler is not None:
+            profiler.stop()
 
     def _edges(self, u: int, v: int) -> List[Tuple[int, int]]:
         """Overlay path ``u -> v`` as normalised edge keys, memoised."""
@@ -1148,7 +1225,19 @@ class SimCluster:
         buffer's surviving rows reach each group through its sorted
         pending list and drain as TupleBatch pushes.
         """
+        obs = self.obs
+        profiler = obs.profiler if obs is not None else None
+        spans = obs.spans if obs is not None else None
+        if profiler is not None:
+            profiler.start("dissemination")
         source = int(self.space.source_of[sid])
+        if spans is not None:
+            for seq, tup in rows:
+                span = spans.lookup(tup)
+                if span is not None:
+                    span.hop(
+                        "publish", self.loop.now, substream=sid, source=source
+                    )
         per_unit: Dict[int, List[Tuple[int, StreamTuple]]] = {}
         order: List[int] = []
         if self._route_fast:
@@ -1195,6 +1284,14 @@ class SimCluster:
                 release = max(tup.timestamp + gs.slack, gs.last_release)
                 gs.last_release = release
                 gs.pending.append((tup, release))
+                if spans is not None:
+                    span = spans.lookup(tup)
+                    if span is not None:
+                        span.hop(
+                            "queued", self.loop.now, group=gid, host=gs.host,
+                            release=round(release, 9),
+                            overlay_hops=len(self._edges(source, gs.host)),
+                        )
                 self.loop.schedule(release, partial(self._release_one, gid))
                 continue
             release_last = 0.0
@@ -1203,10 +1300,20 @@ class SimCluster:
                 gs.last_release = max(gs.last_release, release)
                 bisect.insort(gs.pending_rel, (tup.timestamp, seq, tup, release))
                 release_last = release
+                if spans is not None:
+                    span = spans.lookup(tup)
+                    if span is not None:
+                        span.hop(
+                            "queued", self.loop.now, group=gid, host=gs.host,
+                            release=round(release, 9),
+                            overlay_hops=len(self._edges(source, gs.host)),
+                        )
             when = max(release_last, self.loop.now)
             if when > gs.drain_at:
                 gs.drain_at = when
                 self.loop.schedule(when, partial(self._drain_query, gid))
+        if profiler is not None:
+            profiler.stop()
 
     def _flush_substream(self, sid: int) -> None:
         """Publish a substream's coalesced rows as one batch."""
@@ -1318,6 +1425,11 @@ class SimCluster:
         events shrink batches to one row.  Join plans always go columnar
         -- their ``ColumnWindow`` state must see every row.
         """
+        obs = self.obs
+        profiler = obs.profiler if obs is not None else None
+        spans = obs.spans if obs is not None else None
+        if profiler is not None:
+            profiler.start("operator_exec")
         engine = self.engines[qs.host]
         scalar_ok = qs.plan.join is None
         i = 0
@@ -1326,6 +1438,15 @@ class SimCluster:
             stream = rows[i][0].stream
             while j < len(rows) and rows[j][0].stream == stream:
                 j += 1
+            tracked = None
+            if spans is not None:
+                tracked = [
+                    span
+                    for tup, _ in rows[i:j]
+                    for span in (spans.lookup(tup),)
+                    if span is not None
+                ]
+                before = qs.plan.operator_counters() if tracked else None
             if scalar_ok and j - i == 1:
                 tup, at = rows[i]
                 self._account_results(
@@ -1338,12 +1459,43 @@ class SimCluster:
                 per_row = engine.push_query_batch(qs.name, batch)
                 for (tup, at), results in zip(rows[i:j], per_row):
                     self._account_results(qs, tup, results, at)
+            if tracked:
+                after = qs.plan.operator_counters()
+                delta = {
+                    key: after[key] - before.get(key, 0)
+                    for key in after
+                    if after[key] != before.get(key, 0)
+                }
+                for span in tracked:
+                    span.annotate(
+                        "operators", self.loop.now, rows=j - i,
+                        counters=delta,
+                    )
             i = j
+        if profiler is not None:
+            profiler.stop()
 
     def _deliver_now(self, qs, tup: StreamTuple) -> None:
         """Push one tuple into a query's plan and account its results."""
+        obs = self.obs
+        profiler = obs.profiler if obs is not None else None
+        spans = obs.spans if obs is not None else None
+        if profiler is not None:
+            profiler.start("operator_exec")
+        span = spans.lookup(tup) if spans is not None else None
+        before = qs.plan.operator_counters() if span is not None else None
         results = self.engines[qs.host].push_query(qs.name, tup)
+        if span is not None:
+            after = qs.plan.operator_counters()
+            delta = {
+                key: after[key] - before.get(key, 0)
+                for key in after
+                if after[key] != before.get(key, 0)
+            }
+            span.annotate("operators", self.loop.now, rows=1, counters=delta)
         self._account_results(qs, tup, results, self.loop.now)
+        if profiler is not None:
+            profiler.stop()
 
     def _account_group_results(
         self,
@@ -1362,11 +1514,21 @@ class SimCluster:
         host-to-proxy transit, traffic is charged per overlay link by the
         publish itself.
         """
+        obs = self.obs
+        span = None
+        if obs is not None and obs.spans is not None:
+            span = obs.spans.lookup(tup)
+            if span is not None:
+                span.hop(
+                    "engine", at, group=gs.gid, host=gs.host,
+                    results=len(results),
+                )
         if not results:
             return
         if self._route_fast:
             host = gs.host
             checks = []
+            carved: Optional[Dict[int, int]] = {} if span is not None else None
             for query_id in self._res_listeners.get(gs.gid, ()):
                 qs = self.queries[query_id]
                 checks.append((
@@ -1385,6 +1547,9 @@ class SimCluster:
                     if not matches(values):
                         continue
                     accepted.append(proxy)
+                    if carved is not None:
+                        qid = qs.simq.query_id
+                        carved[qid] = carved.get(qid, 0) + 1
                     latency = base + proxy_s
                     self._interval_results += 1
                     qs.lat_sum += latency
@@ -1408,7 +1573,14 @@ class SimCluster:
                     charges[key] = charges.get(key, 0) + 1
             for key, count in charges.items():
                 self._charge_union(gs.host, list(key), float(count))
+            if span is not None:
+                for qid in sorted(carved):
+                    span.hop(
+                        "carve", at, group=gs.gid, member=qid,
+                        results=carved[qid],
+                    )
             return
+        carved = {} if span is not None else None
         for r in results:
             event = Event(
                 stream=gs.result_stream, attributes=dict(r.values), size=1.0
@@ -1417,6 +1589,8 @@ class SimCluster:
                 query_id = self._by_result_sub.get(sub.sub_id)
                 if query_id is None:
                     continue
+                if carved is not None:
+                    carved[query_id] = carved.get(query_id, 0) + 1
                 qs = self.queries[query_id]
                 latency = (at - tup.timestamp) + (
                     self._path_latency_ms(gs.host, node) / 1000.0
@@ -1430,6 +1604,11 @@ class SimCluster:
                     qs.results.append(
                         StreamTuple(delivered.stream, dict(delivered.attributes))
                     )
+        if span is not None:
+            for qid in sorted(carved):
+                span.hop(
+                    "carve", at, group=gs.gid, member=qid, results=carved[qid]
+                )
 
     def _account_results(
         self,
@@ -1442,6 +1621,15 @@ class SimCluster:
         if self._sharing:
             self._account_group_results(qs, tup, results, at)
             return
+        obs = self.obs
+        span = None
+        if obs is not None and obs.spans is not None:
+            span = obs.spans.lookup(tup)
+            if span is not None:
+                span.hop(
+                    "engine", at, query=qs.simq.query_id, host=qs.host,
+                    results=len(results),
+                )
         if not results:
             return
         proxy = qs.simq.spec.proxy
@@ -1449,6 +1637,11 @@ class SimCluster:
         if qs.host != proxy:
             proxy_ms = self.network.account_path(qs.host, proxy, float(len(results)))
         latency = (at - tup.timestamp) + proxy_ms / 1000.0
+        if span is not None:
+            span.hop(
+                "sink", at, query=qs.simq.query_id, proxy=proxy,
+                results=len(results), latency=round(latency, 9),
+            )
         for r in results:
             self._interval_results += 1
             qs.lat_sum += latency
@@ -1463,7 +1656,13 @@ class SimCluster:
     # ------------------------------------------------------------------
     def _churn_arrival(self, churn: ChurnParams) -> None:
         simq = self.factory.make()
+        obs = self.obs
+        profiler = obs.profiler if obs is not None else None
+        if profiler is not None:
+            profiler.start("coordinator")
         host = self.cosmos.insert(simq.spec)
+        if profiler is not None:
+            profiler.stop()
         self.add_query(simq, host)
         self.trace.mark(self.loop.now, "query_add", simq.name)
         lifetime = float(self.churn_rng.exponential(churn.mean_lifetime))
@@ -1549,6 +1748,10 @@ class SimCluster:
 
     def _adapt_round(self) -> None:
         """One Section 3.7 round driven by *measured* engine loads."""
+        obs = self.obs
+        profiler = obs.profiler if obs is not None else None
+        if profiler is not None:
+            profiler.start("coordinator")
         # measured loads must include every delivery the scalar plane
         # would have processed by now; migrations change hosts/tables
         self._flush_batches()
@@ -1607,11 +1810,17 @@ class SimCluster:
                     optimizer_cpu_s=self.cosmos.total_time() - cpu0,
                 )
             )
+        if profiler is not None:
+            profiler.stop()
         nxt = self.loop.now + dt
         if nxt <= self.duration:
             self.loop.schedule(nxt, self._adapt_round)
 
     def _sample(self, closing: bool = False) -> None:
+        obs = self.obs
+        profiler = obs.profiler if obs is not None else None
+        if profiler is not None:
+            profiler.start("sampling")
         # the sample must observe every delivery the scalar plane has
         # processed by this instant
         self._flush_batches()
@@ -1651,6 +1860,8 @@ class SimCluster:
             nxt = self.loop.now + dt
             if nxt <= self.duration:
                 self.loop.schedule(nxt, self._sample)
+        if profiler is not None:
+            profiler.stop()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -1689,6 +1900,7 @@ def run_scenario(
     scenario: ScenarioParams = ScenarioParams(),
     cosmos_config: Optional[CosmosConfig] = None,
     record: bool = False,
+    observer: Optional[Observer] = None,
 ) -> SimReport:
     """Build a cluster and run one scenario end to end.
 
@@ -1699,7 +1911,19 @@ def run_scenario(
     report additionally carries the ordered action log and every
     query's result tuples, which :func:`oracle_results` can replay on a
     single engine for correctness checks.
+
+    ``observer`` attaches the observability layer
+    (:class:`~repro.obs.observer.Observer`): provenance spans, the
+    metrics registry and the subsystem profiler.  Observation is
+    strictly read-only -- it draws no random numbers, schedules no
+    events and feeds no wall-clock values back into the simulation, so
+    the report is bit-identical with or without it.
     """
+    if observer is not None:
+        observer.begin(seed)
+    profiler = observer.profiler if observer is not None else None
+    if profiler is not None:
+        profiler.start("setup")
     # the 9th spawn feeds fault-target resolution; SeedSequence spawning
     # is prefix-stable, so the first 8 streams -- and with them every
     # fault-free trace -- are bit-identical to the spawn(8) era
@@ -1771,6 +1995,7 @@ def run_scenario(
         spares=spares,
         seed=seed,
         record=record,
+        observer=observer,
     )
     for simq in initial:
         cluster.add_query(simq, cosmos.placement[simq.query_id])
@@ -1790,8 +2015,12 @@ def run_scenario(
             scenario.hotspot.at,
             partial(cluster._hotspot, chosen, scenario.hotspot.factor),
         )
+    if profiler is not None:
+        profiler.stop()
     cluster.start()
     cluster.run()
+    if observer is not None:
+        observer.finish(cluster)
 
     results = None
     link_bytes = None

@@ -58,6 +58,10 @@ class EventLoop:
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self.processed: int = 0
+        #: optional :class:`repro.obs.SubsystemProfiler`; when set,
+        #: :meth:`run_until` attributes its wall time to "event_loop"
+        #: (minus whatever nested sections the actions claim)
+        self.profiler = None
 
     def schedule(self, when: float, action: Action) -> EventHandle:
         """Schedule ``action`` at absolute time ``when``.
@@ -92,13 +96,20 @@ class EventLoop:
         horizon even if the heap drained early.
         """
         count = 0
-        while self._heap and self._heap[0][0] <= end:
-            when, _, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self.now = when
-            handle.action()
-            count += 1
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.start("event_loop")
+        try:
+            while self._heap and self._heap[0][0] <= end:
+                when, _, handle = heapq.heappop(self._heap)
+                if handle.cancelled:
+                    continue
+                self.now = when
+                handle.action()
+                count += 1
+        finally:
+            if profiler is not None:
+                profiler.stop()
         if end != float("inf"):
             self.now = max(self.now, end)
         self.processed += count

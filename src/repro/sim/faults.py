@@ -251,18 +251,31 @@ class FaultInjector:
         """
         c = self.cluster
         c._flush_batches()
+        obs = c.obs
+        profiler = obs.profiler if obs is not None else None
+        if profiler is not None:
+            profiler.start("recovery")
         store = self._store_node()
+        shipped = 0
+        state_tuples = 0
         for uid in sorted(c._units):
             unit = c._units[uid]
             if not unit.alive or unit.detached or unit.plan is None:
                 continue
             self.checkpoints[uid] = unit.plan.checkpoint()
             state = float(unit.plan.state_size())
+            shipped += 1
+            state_tuples += int(state)
             if unit.host != store:
                 c.network.account_path(unit.host, store, max(1.0, state))
+        if obs is not None and obs.registry is not None:
+            obs.registry.inc("recovery.checkpoints", shipped)
+            obs.registry.inc("recovery.checkpoint_state_tuples", state_tuples)
         nxt = c.loop.now + self.params.checkpoint_interval
         if nxt <= c.duration:
             c.loop.schedule(nxt, self._checkpoint_round)
+        if profiler is not None:
+            profiler.stop()
 
     # -- target resolution ---------------------------------------------
     def _pick(self, choices: Sequence[int]) -> Optional[int]:
@@ -299,6 +312,7 @@ class FaultInjector:
                 gs = c.groups[gid]
                 if gs.host != node or gs.detached:
                     continue
+                c._annotate_pending(gs, "crash", node=node, group=gid)
                 gs.pending.clear()
                 gs.pending_rel.clear()
                 gs.drain_at = float("-inf")
@@ -323,6 +337,7 @@ class FaultInjector:
                 qs = c.queries[qid]
                 if qs.host != node or qs.detached:
                     continue
+                c._annotate_pending(qs, "crash", node=node, query=qid)
                 qs.pending.clear()
                 qs.pending_rel.clear()
                 qs.drain_at = float("-inf")
@@ -334,6 +349,8 @@ class FaultInjector:
                     qs.alive = False
                     victims.append(qid)
         # the engine process is gone; the overlay node keeps routing
+        if c.obs is not None:
+            c.obs.engine_retired(node, c.engines[node])
         c.engines.pop(node)
         c.processors.remove(node)
         c._pindex = {p: i for i, p in enumerate(c.processors)}
@@ -362,6 +379,10 @@ class FaultInjector:
         """Re-place and restore everything the crash orphaned."""
         c = self.cluster
         c._flush_batches()
+        obs = c.obs
+        profiler = obs.profiler if obs is not None else None
+        if profiler is not None:
+            profiler.start("recovery")
         touched: set = set()
         resumed = c.loop.now
         for qid in victims:
@@ -370,6 +391,10 @@ class FaultInjector:
             resumed = max(resumed, self._rehome_group(gid, touched))
         if touched:
             c._refresh_subscriptions(streams=touched)
+        if obs is not None and obs.registry is not None:
+            obs.registry.inc("recovery.crash_recoveries")
+        if profiler is not None:
+            profiler.stop()
         c.trace.mark(c.loop.now, "recover", f"p{node}")
         c.fault_log.append(
             {
@@ -407,6 +432,8 @@ class FaultInjector:
         qs.cpu_at_sample = plan.cpu_cost()
         qs.cpu_at_adapt = plan.cpu_cost()
         touched.update(qs.simq.streams)
+        if c.obs is not None and c.obs.registry is not None:
+            c.obs.registry.inc("recovery.orphans_restored")
         return ready
 
     def _rehome_group(self, gid: int, touched: set) -> float:
@@ -457,6 +484,8 @@ class FaultInjector:
         gs.cpu_at_sample = plan.cpu_cost()
         gs.cpu_at_adapt = plan.cpu_cost()
         touched.update(gs.streams)
+        if c.obs is not None and c.obs.registry is not None:
+            c.obs.registry.inc("recovery.groups_rehomed")
         return ready
 
     def _handoff(self, unit, plan, new_host: int) -> float:
@@ -501,6 +530,10 @@ class FaultInjector:
         """
         c = self.cluster
         c._flush_batches()
+        obs = c.obs
+        profiler = obs.profiler if obs is not None else None
+        if profiler is not None:
+            profiler.start("recovery")
         c.network.reflood_advertisements()
         c._refresh_subscriptions()
         if c._sharing:
@@ -511,6 +544,10 @@ class FaultInjector:
                         c.network.subscribe(
                             qs.simq.spec.proxy, qs.result_sub, force=True
                         )
+        if obs is not None and obs.registry is not None:
+            obs.registry.inc("recovery.broker_recoveries")
+        if profiler is not None:
+            profiler.stop()
         c.trace.mark(c.loop.now, "recover", f"b{node}")
         c.fault_log.append(
             {"kind": "recover", "t": c.loop.now, "node": node}
@@ -612,6 +649,8 @@ class FaultInjector:
                     c._detach(qid)
         if touched:
             c._refresh_subscriptions(streams=touched)
+        if c.obs is not None:
+            c.obs.engine_retired(node, c.engines[node])
         c.engines.pop(node)
         c.processors.remove(node)
         c._pindex = {p: i for i, p in enumerate(c.processors)}

@@ -15,7 +15,11 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["TraceSample", "AdaptationMark", "SimTrace"]
+__all__ = ["TraceSample", "AdaptationMark", "SimTrace", "TRACE_SCHEMA_VERSION"]
+
+#: version of the ``SimTrace.to_dict`` artifact layout; bump on any
+#: field addition/removal so BENCH/TRACE consumers can dispatch
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -97,11 +101,37 @@ class SimTrace:
                 d.pop("optimizer_cpu_s")
             adaptations.append(d)
         return {
+            "schema_version": TRACE_SCHEMA_VERSION,
             "seed": self.seed,
             "samples": [asdict(s) for s in self.samples],
             "adaptations": adaptations,
             "events": [list(e) for e in self.events],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimTrace":
+        """Reconstruct a trace from :meth:`to_dict` output.
+
+        Round-trips exactly: ``SimTrace.from_dict(t.to_dict(True))``
+        equals ``t``.  Timing-stripped dicts reconstruct with
+        ``optimizer_cpu_s=0.0``.
+        """
+        version = data.get("schema_version", 1)
+        if version != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported trace schema_version {version!r} "
+                f"(expected {TRACE_SCHEMA_VERSION})"
+            )
+        trace = cls(seed=data["seed"])
+        trace.samples = [TraceSample(**s) for s in data["samples"]]
+        trace.adaptations = [
+            AdaptationMark(optimizer_cpu_s=0.0, **a)
+            if "optimizer_cpu_s" not in a
+            else AdaptationMark(**a)
+            for a in data["adaptations"]
+        ]
+        trace.events = [tuple(e) for e in data["events"]]
+        return trace
 
     def summary(self) -> Dict:
         """Compact stats for bench reports (full samples stay available)."""

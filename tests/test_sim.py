@@ -178,6 +178,7 @@ class TestMidDrainRemoval:
         c._sharing = False
         c._batching = False
         c.record = False
+        c.obs = None
         c.results_total = 0
         c._interval_results = 0
         c.engines = {0: Engine(node=0, use_batches=False)}
@@ -279,6 +280,28 @@ class TestRunScenario:
         assert json.dumps(a.trace.to_dict(), sort_keys=True) == json.dumps(
             b.trace.to_dict(), sort_keys=True
         )
+
+    def test_trace_round_trips_through_dict(self):
+        """Satellite: ``to_dict`` is versioned and ``from_dict`` inverts it."""
+        from repro.sim.trace import TRACE_SCHEMA_VERSION, SimTrace
+
+        report = run_scenario(
+            seed=5, workload=small_workload(), scenario=churn_scenario()
+        )
+        trace = report.trace
+        data = trace.to_dict(include_timing=True)
+        assert data["schema_version"] == TRACE_SCHEMA_VERSION
+        rebuilt = SimTrace.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == trace
+        # timing-stripped dicts reconstruct with optimizer_cpu_s zeroed
+        stripped = SimTrace.from_dict(trace.to_dict())
+        assert stripped.to_dict() == trace.to_dict()
+        assert all(a.optimizer_cpu_s == 0.0 for a in stripped.adaptations)
+        # unknown versions fail loudly instead of misparsing
+        bad = trace.to_dict()
+        bad["schema_version"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            SimTrace.from_dict(bad)
 
     def test_seeds_differ(self):
         a = run_scenario(seed=5, workload=small_workload(), scenario=churn_scenario())
