@@ -19,19 +19,91 @@ re-estimated exactly and the vertex can later be uncoarsened one level.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..query.interest import SubstreamSpace
 from .graphs import NetworkGraph, NVertex, QueryGraph, QVertex, VertexId
 
-__all__ = ["CoarseVertex", "coarsen", "uncoarsen_vertex", "rebuild_edges"]
+__all__ = [
+    "CoarseVertex",
+    "CoarsePlan",
+    "coarsen",
+    "coarsen_cached",
+    "content_rng",
+    "plan_key",
+    "vertex_sig",
+    "uncoarsen_vertex",
+    "rebuild_edges",
+]
 
 _coarse_ids = itertools.count()
+
+PlanKey = Tuple[int, ...]
+
+
+def plan_key(v: QVertex) -> PlanKey:
+    """Content-derived identity of a coarsening input (sorted members)."""
+    return tuple(sorted(v.members))
+
+
+def vertex_sig(v: QVertex) -> Tuple:
+    """Content signature of a coarsening input.
+
+    Two vertices with equal signatures produce bit-identical coarsening
+    aggregates, so a recorded plan whose input signatures all match can be
+    reused wholesale.
+    """
+    return (
+        plan_key(v),
+        v.weight,
+        v.mask,
+        v.state_size,
+        tuple(sorted(v.source_rates.items())),
+        tuple(sorted(v.proxy_rates.items())),
+    )
+
+
+def content_rng(seed: int, stable_id: int, g: QueryGraph) -> random.Random:
+    """An rng derived from ``(seed, coordinator, graph content)``.
+
+    Coarsening consumes randomness (the per-round shuffle); deriving it
+    from the input content instead of a shared sequential stream makes
+    each invocation a pure function of its inputs — the property that
+    lets a cached plan stand in for a fresh run, and that keeps the
+    incremental and full-rebuild optimizer modes on identical coarse
+    graphs.  Hashing uses blake2b over canonical int tuples, so it is
+    independent of ``PYTHONHASHSEED``.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str((seed, stable_id)).encode())
+    for v in g.qverts.values():
+        h.update(str(plan_key(v)).encode())
+    return random.Random(int.from_bytes(h.digest(), "big"))
+
+
+@dataclass
+class CoarsePlan:
+    """Recorded outcome of one coarsening invocation.
+
+    ``sigs`` fingerprints every input vertex; ``steps`` lists the merge
+    operations in execution order as ``(key_a, key_b)`` member-key pairs;
+    ``output`` is the resulting coarse vertex list.  A plan whose input
+    signatures all match the current inputs can be replayed without
+    re-running matching or edge re-estimation; with partial reuse only
+    the steps untouched by dirty inputs are replayed and the remainder is
+    re-coarsened.
+    """
+
+    vmax: int
+    sigs: Dict[PlanKey, Tuple]
+    steps: List[Tuple[PlanKey, PlanKey]] = field(default_factory=list)
+    output: List[QVertex] = field(default_factory=list)
 
 
 @dataclass
@@ -242,6 +314,7 @@ def _collapse_pairs(
     origin: Optional[Hashable],
     vmax: int,
     overlap: Optional[_OverlapIndex] = None,
+    steps_out: Optional[List[Tuple[PlanKey, PlanKey]]] = None,
 ) -> bool:
     """Merge matched pairs in order until ``vmax`` is reached (lines 8-11).
 
@@ -258,6 +331,8 @@ def _collapse_pairs(
         if a not in work.qverts or b not in work.qverts:
             continue
         u, v = work.qverts[a], work.qverts[b]
+        if steps_out is not None:
+            steps_out.append((plan_key(u), plan_key(v)))
         w_new = merge_qvertices(u, v, origin=origin)
         if overlap is not None:
             overlap.merged(w_new, u, v)
@@ -302,6 +377,8 @@ def coarsen(
     rng: Optional[random.Random] = None,
     ng: Optional[NetworkGraph] = None,
     fast: bool = True,
+    steps_out: Optional[List[Tuple[PlanKey, PlanKey]]] = None,
+    warm_steps: Optional[Sequence[Tuple[PlanKey, PlanKey]]] = None,
 ) -> QueryGraph:
     """Algorithm 1: coarsen ``g`` until it has at most ``vmax`` vertices.
 
@@ -335,15 +412,114 @@ def coarsen(
     for a, b, w in g.edges():
         work.set_edge(a, b, w)
 
+    if warm_steps:
+        # replay still-valid merge steps from a previous plan before any
+        # fresh matching; each step is resolved through a member-key ->
+        # vid map that grows as merges produce new vertices
+        kv = {plan_key(v): v.vid for v in work.qverts.values()}
+        for ka, kb in warm_steps:
+            if work.vertex_count() <= vmax:
+                break
+            va, vb = kv.get(ka), kv.get(kb)
+            if (
+                va is None or vb is None
+                or va not in work.qverts or vb not in work.qverts
+            ):
+                continue
+            if _collapse_pairs(
+                work, [(va, vb)], space, origin, vmax, overlap,
+                steps_out=steps_out,
+            ):
+                merged = next(reversed(work.qverts.values()))
+                kv[plan_key(merged)] = merged.vid
+
     while work.vertex_count() > vmax:
         qids = list(work.qverts)
         rng.shuffle(qids)
         pairs = match_pass(work, qids)
         if not pairs:
             break  # nothing left to collapse (graph may stay above vmax)
-        if not _collapse_pairs(work, pairs, space, origin, vmax, overlap):
+        if not _collapse_pairs(
+            work, pairs, space, origin, vmax, overlap, steps_out=steps_out
+        ):
             break
     return work
+
+
+def _replay_steps(
+    inputs: Dict[PlanKey, QVertex],
+    steps: Sequence[Tuple[PlanKey, PlanKey]],
+    origin: Optional[Hashable],
+) -> List[QVertex]:
+    """Re-apply recorded merge steps to content-equal fresh inputs.
+
+    Merging is the only part of coarsening whose output feeds downstream
+    consumers (``collect``/``adopt`` keep just the vertex list), so a full
+    plan hit skips matching and edge re-estimation entirely and re-runs
+    the merges in recorded order.  Aggregates are order-dependent float
+    sums, so identical inputs merged in the identical order reproduce the
+    scratch result bit for bit — with ``children`` pointing at the *live*
+    input objects, which is what keeps later statistics refreshes exact.
+    """
+    cur = dict(inputs)
+    for ka, kb in steps:
+        u = cur.pop(ka)
+        v = cur.pop(kb)
+        merged = merge_qvertices(u, v, origin=origin)
+        cur[plan_key(merged)] = merged
+    return list(cur.values())
+
+
+def coarsen_cached(
+    g: QueryGraph,
+    vmax: int,
+    space: SubstreamSpace,
+    origin: Optional[Hashable] = None,
+    rng: Optional[random.Random] = None,
+    fast: bool = True,
+    plan: Optional[CoarsePlan] = None,
+    mode: str = "replay",
+) -> Tuple[List[QVertex], CoarsePlan, str]:
+    """Coarsen with plan reuse; returns ``(vertices, plan, reused)``.
+
+    ``reused`` is ``"full"`` when every input signature matched and the
+    recorded steps were replayed outright, ``"partial"`` when only the
+    steps untouched by dirty inputs were warm-started (``mode ==
+    "partial"``), ``"none"`` for a scratch run.  ``mode == "off"``
+    disables reuse but still records a plan for the next round.
+    """
+    inputs = {plan_key(v): v for v in g.qverts.values()}
+    sigs = {k: vertex_sig(v) for k, v in inputs.items()}
+    if (
+        plan is not None
+        and mode != "off"
+        and plan.vmax == vmax
+        and plan.sigs == sigs
+    ):
+        return _replay_steps(inputs, plan.steps, origin), plan, "full"
+
+    warm: Optional[List[Tuple[PlanKey, PlanKey]]] = None
+    if plan is not None and mode == "partial" and plan.vmax == vmax:
+        # a step is replayable iff both operands derive from inputs whose
+        # signatures are unchanged; dirty inputs never enter `avail`, so
+        # every step downstream of one is excluded automatically
+        avail = {k for k, s in sigs.items() if plan.sigs.get(k) == s}
+        warm = []
+        for ka, kb in plan.steps:
+            if ka in avail and kb in avail:
+                warm.append((ka, kb))
+                avail.discard(ka)
+                avail.discard(kb)
+                avail.add(tuple(sorted(ka + kb)))
+
+    steps: List[Tuple[PlanKey, PlanKey]] = []
+    coarse = coarsen(
+        g, vmax, space, origin=origin, rng=rng, fast=fast,
+        steps_out=steps, warm_steps=warm,
+    )
+    out = list(coarse.qverts.values())
+    new_plan = CoarsePlan(vmax=vmax, sigs=sigs, steps=steps, output=list(out))
+    return out, new_plan, "partial" if warm else "none"
 
 
 def uncoarsen_vertex(v: QVertex) -> List[QVertex]:

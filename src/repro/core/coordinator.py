@@ -38,15 +38,23 @@ from ..obs import registry as _obs
 from ..query.interest import SubstreamSpace
 from ..query.workload import QuerySpec
 from ..topology.latency import LatencyOracle
-from .coarsening import coarsen, merge_qvertices, uncoarsen_vertex
+from .coarsening import (
+    coarsen_cached,
+    content_rng,
+    merge_qvertices,
+    rebuild_edges,
+    uncoarsen_vertex,
+)
 from .graphs import (
     DEFAULT_ALPHA,
     Mapping,
     NetVertex,
     NetworkGraph,
+    NVertex,
     QueryGraph,
     QVertex,
     VertexId,
+    attach_overlap_edges,
     build_query_graph,
     qvertex_from_query,
 )
@@ -98,6 +106,9 @@ class Coordinator:
         seed: int = 0,
         placement: Optional[Dict[int, int]] = None,
         max_overlap_neighbors: int = 20,
+        incremental: bool = True,
+        coarse_reuse: str = "replay",
+        plan_store: Optional[Dict] = None,
     ):
         self.cluster = cluster
         self.name: VertexId = ("coord", cluster.cluster_id)
@@ -114,7 +125,17 @@ class Coordinator:
             cluster.level * 1_000_003 + cluster.coordinator
         ) * 1_000_003 + min(cluster.members)
         self.rng = random.Random(seed ^ stable_id)
+        self._seed = seed
+        self._stable_id = stable_id
         self.max_overlap_neighbors = max_overlap_neighbors
+        #: delta-maintain snapshots/workspaces across rounds (False = the
+        #: full-rebuild reference mode; graph *mutations* are mode-shared)
+        self.incremental = incremental
+        #: coarse-plan reuse policy: "replay" | "partial" | "off"
+        self.coarse_reuse = coarse_reuse
+        #: stable_id -> CoarsePlan, shared by the tree (and, via Cosmos,
+        #: across hierarchy rebuilds after membership changes)
+        self._plan_store: Dict = plan_store if plan_store is not None else {}
         #: query_id -> processor; shared by the whole tree (leaves write it)
         self.placement: Dict[int, int] = placement if placement is not None else {}
 
@@ -122,6 +143,7 @@ class Coordinator:
             Coordinator(
                 child, oracle, space, capabilities, vmax, alpha, seed,
                 self.placement, max_overlap_neighbors,
+                incremental, coarse_reuse, self._plan_store,
             )
             for child in cluster.children
         ]
@@ -130,7 +152,7 @@ class Coordinator:
 
         #: the (possibly coarse) vertices currently at this level
         self.vertices: Dict[VertexId, QVertex] = {}
-        self.qg: QueryGraph = QueryGraph()
+        self.qg: QueryGraph = QueryGraph(incremental=incremental)
         self.assignment: Mapping = {}
         #: CPU seconds spent in this coordinator's own optimization work
         self.cpu_time: float = 0.0
@@ -138,6 +160,21 @@ class Coordinator:
         self._child_masks = None
         self._loads: Dict[VertexId, float] = {}
         self._total_weight: float = 0.0
+        # incremental-adaptation state: a cost workspace that outlives
+        # rounds, the previous round's move count (0 + no changes => the
+        # round can be skipped), and dirtiness flags set by statistics
+        # refresh / query removal / rate perturbation
+        self._ws: Optional[CostWorkspace] = None
+        self._last_moves: Optional[int] = None
+        self._stats_dirty = False
+        self._edges_stale = False
+        self._graph_mutations = 0
+        self._rates_gen = space.rates_generation
+        # True when the whole subtree reproduced itself last round (every
+        # level skipped) and no mutation has touched it since; adaptation
+        # then does not even recurse into it.  Mode-shared state, like
+        # the skip rule itself, so both optimizer modes stay in lockstep.
+        self._subtree_quiet = False
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -225,13 +262,36 @@ class Coordinator:
             graph = build_query_graph(
                 incoming, self.space, self.ng, self.max_overlap_neighbors
             )
-            coarse = coarsen(
-                graph, self.vmax, self.space, origin=self.name, rng=self.rng
-            )
-            result = list(coarse.qverts.values())
+            result = self._coarsen_cached(graph)
         else:
             result = list(incoming)
         self.cpu_time += time.perf_counter() - t0
+        return result
+
+    def _coarsen_cached(self, graph: QueryGraph) -> List[QVertex]:
+        """Coarsen ``graph``, reusing this coordinator's recorded plan.
+
+        The rng is derived from the input content (not the coordinator's
+        sequential stream), so a coarsening run is a pure function of its
+        inputs: a recorded plan replayed over signature-identical inputs
+        is bit-identical to running from scratch, and both optimizer modes
+        see the same coarse graphs.
+        """
+        rng = content_rng(self._seed, self._stable_id, graph)
+        mode = self.coarse_reuse if self.incremental else "off"
+        plan = self._plan_store.get(self._stable_id)
+        result, plan, reused = coarsen_cached(
+            graph, self.vmax, self.space, origin=self.name, rng=rng,
+            plan=plan, mode=mode,
+        )
+        self._plan_store[self._stable_id] = plan
+        if _obs.ACTIVE is not None:
+            if reused == "full":
+                _obs.ACTIVE.inc("opt.coarse_plan_hits")
+            elif reused == "partial":
+                _obs.ACTIVE.inc("opt.coarse_plan_partial")
+            else:
+                _obs.ACTIVE.inc("opt.coarse_plan_misses")
         return result
 
     # ------------------------------------------------------------------
@@ -251,6 +311,7 @@ class Coordinator:
             list(self.vertices.values()), self.space, self.ng,
             self.max_overlap_neighbors,
         )
+        self._reset_incremental_state()
         result = map_graph(self.qg, self.ng, alpha=self.alpha)
         self.assignment = result.mapping
         self._invalidate_routing_state()
@@ -320,15 +381,13 @@ class Coordinator:
                 vertices, self.space, self.ng, self.max_overlap_neighbors
             )
 
+        self._reset_incremental_state()
         self._invalidate_routing_state()
         if len(vertices) > self.vmax:
             if _obs.ACTIVE is not None:
                 _obs.ACTIVE.inc("opt.coarsen_invocations")
                 _obs.ACTIVE.inc("opt.coarsen_input_vertices", len(vertices))
-            coarse = coarsen(
-                self.qg, self.vmax, self.space, origin=self.name, rng=self.rng
-            )
-            return list(coarse.qverts.values())
+            return self._coarsen_cached(self.qg)
         return list(vertices)
 
     # ------------------------------------------------------------------
@@ -352,6 +411,7 @@ class Coordinator:
         t0 = time.perf_counter()
         if _obs.ACTIVE is not None:
             _obs.ACTIVE.inc("opt.insert_hops")
+        self._subtree_quiet = False
         self._ensure_routing_state()
         w = v.weight
         total_q = self._total_weight + w
@@ -444,12 +504,26 @@ class Coordinator:
             v = self.vertices[owner_vid]
             if v.members == (query_id,):
                 # the query's last trace at this level: drop the vertex
+                # and any n-vertices its departure leaves isolated
                 del self.vertices[owner_vid]
                 self.assignment.pop(owner_vid, None)
                 if owner_vid in self.qg.qverts:
+                    nbrs = [
+                        n for n in self.qg.neighbors(owner_vid)
+                        if n in self.qg.nverts
+                    ]
                     self.qg.remove_vertex(owner_vid)
+                    for n in nbrs:
+                        if not self.qg.neighbors(n):
+                            self.qg.remove_vertex(n)
             else:
                 _strip_member(v, query_id)
+                if owner_vid in self.qg.qverts:
+                    self._refresh_stripped_edges(v)
+            # the graph changed under last round's converged state --
+            # the next adaptation round must not be skipped
+            self._stats_dirty = True
+            self._subtree_quiet = False
         self.cpu_time += time.perf_counter() - t0
         for child in self.children:
             if child._remove_query_level(query_id):
@@ -473,6 +547,122 @@ class Coordinator:
 
     def _invalidate_routing_state(self) -> None:
         self._child_masks = None
+
+    def _reset_incremental_state(self) -> None:
+        """Called after a wholesale graph replacement (distribute/adopt)."""
+        self.qg.incremental = self.incremental
+        self._ws = None
+        self._last_moves = None
+        self._stats_dirty = False
+        self._edges_stale = False
+        self._graph_mutations = 0
+        self._subtree_quiet = False
+
+    def _workspace(self) -> CostWorkspace:
+        """The cost workspace for this round.
+
+        Incremental mode keeps one workspace alive across rounds and
+        journal-syncs it; the reference mode builds a fresh one every
+        round.  Both return bit-identical attach costs (costs gather
+        through the live adjacency dicts), so the modes stay in lockstep.
+        """
+        if self.incremental:
+            if self._ws is None or self._ws.qg is not self.qg:
+                self._ws = CostWorkspace(self.qg, self.ng)
+                if _obs.ACTIVE is not None:
+                    _obs.ACTIVE.inc("opt.workspace_rebuilds")
+            else:
+                self._ws.ensure_synced()
+                if _obs.ACTIVE is not None:
+                    _obs.ACTIVE.inc("opt.workspace_syncs")
+            return self._ws
+        return CostWorkspace(self.qg, self.ng)
+
+    def _sync_graph(self, vertices: List[QVertex]) -> bool:
+        """Bring ``self.qg`` in line with this round's vertex set.
+
+        Returns whether anything structural changed.  This is the
+        delta-maintenance replacement for the per-round
+        ``build_query_graph``: departed vertices are removed (dropping
+        n-vertices they leave isolated), newcomers are attached with q-n
+        edges from their rate maps plus one batched top-k overlap pass,
+        and a periodic full edge re-estimation bounds drift from
+        localized attachment.  Both optimizer modes run this identically
+        -- the graph *content* is mode-shared; only snapshot/workspace
+        caching differs -- which is what makes incremental-vs-reference
+        bit-parity provable.
+        """
+        qg = self.qg
+        want = {v.vid: v for v in vertices}
+        current = qg.qverts
+        if not current and not want:
+            self._edges_stale = False
+            return False
+        added = [v for v in vertices if v.vid not in current]
+        removed = [vid for vid in current if vid not in want]
+        live = len(want)
+
+        if (
+            self._edges_stale
+            or not current
+            or not want
+            or len(added) + len(removed) > live // 2
+        ):
+            # wholesale replacement (first round after distribute at a
+            # leaf flips coarse vertices to atoms; rate perturbation
+            # staled every edge; ...): rebuild from scratch
+            self.qg = build_query_graph(
+                vertices, self.space, self.ng, self.max_overlap_neighbors
+            )
+            self.qg.incremental = self.incremental
+            self._edges_stale = False
+            self._graph_mutations = 0
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.inc("opt.graph_rebuilds")
+            return True
+
+        changed = False
+        for vid in removed:
+            nbrs = [n for n in qg.neighbors(vid) if n in qg.nverts]
+            qg.remove_vertex(vid)
+            for n in nbrs:
+                if not qg.neighbors(n):
+                    qg.remove_vertex(n)
+            changed = True
+        # rebind same-vid vertices to this round's objects (content-equal
+        # in the protocols that re-create vertex objects)
+        for vid, v in want.items():
+            cur = current.get(vid)
+            if cur is not None and cur is not v:
+                current[vid] = v
+        if added:
+            changed = True
+            for v in added:
+                qg.add_qvertex(v)
+                for node, rate in list(v.source_rates.items()) + list(
+                    v.proxy_rates.items()
+                ):
+                    nvid = ("n", node)
+                    if nvid not in qg.nverts:
+                        clu = self.ng.covering_vertex(node)
+                        qg.add_nvertex(NVertex(vid=nvid, node=node, clu=clu))
+                    qg.add_edge(v.vid, nvid, rate)
+            qlist = list(qg.qverts.values())
+            new_rows = list(range(len(qlist) - len(added), len(qlist)))
+            attach_overlap_edges(
+                qg, qlist, new_rows, self.space, self.max_overlap_neighbors
+            )
+        if changed:
+            self._graph_mutations += len(added) + len(removed)
+            if self._graph_mutations > max(32, live):
+                # deterministic compaction: re-estimate every edge from
+                # vertex aggregate state (mode-shared, so both optimizer
+                # modes compact at the same instant to the same graph)
+                rebuild_edges(qg, self.space, self.max_overlap_neighbors)
+                self._graph_mutations = 0
+                if _obs.ACTIVE is not None:
+                    _obs.ACTIVE.inc("opt.edge_compactions")
+        return changed
 
     def _assignment_view(self) -> Mapping:
         """Assignment restricted to vertices still in the graph."""
@@ -563,6 +753,7 @@ class Coordinator:
         placements before and after the round (queries physically move
         only once all decisions are made).
         """
+        t_round = time.perf_counter()
         report = report or AdaptationReport()
         before = dict(self.placement)
         self._adapt_level(self.vertices.values(), report)
@@ -570,6 +761,10 @@ class Coordinator:
             old = before.get(query_id)
             if old is not None and old != processor:
                 report.migrated_queries += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.observe(
+                "opt.adapt_round_s", time.perf_counter() - t_round
+            )
         return report
 
     def _adapt_level(
@@ -586,73 +781,93 @@ class Coordinator:
                 flat.extend(_flatten(v))
             vertices = flat
         old_assignment = self._assignment_view()
+        changed = self._sync_graph(vertices)
         self.vertices = {v.vid: v for v in vertices}
-        self.qg = build_query_graph(
-            vertices, self.space, self.ng, self.max_overlap_neighbors
-        )
-        # carry over assignments for vertices we already knew; greedily
-        # place newcomers
-        self.assignment = {}
-        pinned = self.qg.pinned_mapping(self.ng)
-        self.assignment.update(pinned)
-        loads = {vid: 0.0 for vid in self.ng.ids()}
-        newcomers: List[QVertex] = []
-        for v in vertices:
-            old = old_assignment.get(v.vid)
-            if old is None and self.is_leaf and v.members:
-                # continuity: an atomic query already running on one of
-                # this leaf's processors stays there unless rebalanced
-                host = self.placement.get(v.members[0])
-                if host is not None and ("p", host) in self.ng.vertices:
-                    old = ("p", host)
-            if old is not None and old in self.ng.vertices:
-                self.assignment[v.vid] = old
-                loads[old] += v.weight
-            else:
-                newcomers.append(v)
-        if newcomers:
-            limits = self.qg.capacity_limits(self.ng, self.alpha)
-            positions = {
-                vid: self.qg.position(vid, self.assignment, self.ng)
-                for vid in list(self.assignment) + list(self.qg.nverts)
-                if vid in self.qg.qverts or vid in self.qg.nverts
-            }
-            for v in sorted(newcomers, key=lambda x: -x.weight):
-                target, _ = choose_target(
-                    self.qg, self.ng, v, positions, loads, limits
-                )
-                self.assignment[v.vid] = target
-                loads[target] += v.weight
-                positions[v.vid] = self.ng.site(target)
 
-        # phase A: diffusion-guided load re-balancing (Algorithm 3);
-        # both phases share one cost workspace over the unchanged graphs
-        original = dict(self.assignment)
-        ws = CostWorkspace(self.qg, self.ng)
-        stats = rebalance(
-            self.qg, self.ng, self.assignment, alpha=self.alpha,
-            rng=self.rng, workspace=ws,
+        # a level whose graph did not change, whose statistics are
+        # untouched and whose previous round converged (zero moves) will
+        # reproduce last round's assignment exactly -- skip the phases
+        # (the subtree below may still be dirty, so always recurse)
+        skipped = (
+            not changed and not self._stats_dirty and self._last_moves == 0
         )
-        # phase B: distribution refinement
-        refinement = refine_distribution(
-            self.qg, self.ng, self.assignment, original,
-            alpha=self.alpha, rng=self.rng, workspace=ws,
-        )
-        if _obs.ACTIVE is not None:
-            _obs.ACTIVE.inc("opt.adapt_levels")
-            _obs.ACTIVE.inc("opt.diffusion_moves", stats.moved_vertices)
-            _obs.ACTIVE.inc("opt.refinement_moves", refinement)
-        report.absorb(stats, refinement)
-        report.migrated_state += stats.moved_state
-        if not self.is_leaf:
-            # bound vertex-set growth from online insertions (atomic
-            # inserted vertices pile up at every level otherwise)
-            self._maybe_compress()
-        self._invalidate_routing_state()
-        self.cpu_time += time.perf_counter() - t0
+        if skipped:
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.inc("opt.adapt_skips")
+            self.cpu_time += time.perf_counter() - t0
+        else:
+            # carry over assignments for vertices we already knew;
+            # greedily place newcomers
+            self.assignment = {}
+            pinned = self.qg.pinned_mapping(self.ng)
+            self.assignment.update(pinned)
+            loads = {vid: 0.0 for vid in self.ng.ids()}
+            newcomers: List[QVertex] = []
+            for v in vertices:
+                old = old_assignment.get(v.vid)
+                if old is None and self.is_leaf and v.members:
+                    # continuity: an atomic query already running on one
+                    # of this leaf's processors stays there unless
+                    # rebalanced
+                    host = self.placement.get(v.members[0])
+                    if host is not None and ("p", host) in self.ng.vertices:
+                        old = ("p", host)
+                if old is not None and old in self.ng.vertices:
+                    self.assignment[v.vid] = old
+                    loads[old] += v.weight
+                else:
+                    newcomers.append(v)
+            ws = self._workspace()
+            if newcomers:
+                limits = self.qg.capacity_limits(self.ng, self.alpha)
+                ws.init_positions(self.assignment)
+                for v in sorted(newcomers, key=lambda x: -x.weight):
+                    target, _ = choose_target(
+                        self.qg, self.ng, v, None, loads, limits,
+                        workspace=ws,
+                    )
+                    self.assignment[v.vid] = target
+                    loads[target] += v.weight
+                    ws.set_position(v.vid, target)
+
+            # phase A: diffusion-guided load re-balancing (Algorithm 3);
+            # both phases share one cost workspace
+            original = dict(self.assignment)
+            stats = rebalance(
+                self.qg, self.ng, self.assignment, alpha=self.alpha,
+                rng=self.rng, workspace=ws,
+            )
+            # phase B: distribution refinement
+            refinement = refine_distribution(
+                self.qg, self.ng, self.assignment, original,
+                alpha=self.alpha, rng=self.rng, workspace=ws,
+            )
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.inc("opt.adapt_levels")
+                _obs.ACTIVE.inc("opt.diffusion_moves", stats.moved_vertices)
+                _obs.ACTIVE.inc("opt.refinement_moves", refinement)
+            report.absorb(stats, refinement)
+            report.migrated_state += stats.moved_state
+            self._last_moves = stats.moved_vertices + refinement
+            self._stats_dirty = False
+            if not self.is_leaf:
+                # bound vertex-set growth from online insertions (atomic
+                # inserted vertices pile up at every level otherwise)
+                self._maybe_compress()
+            self._invalidate_routing_state()
+            self.cpu_time += time.perf_counter() - t0
 
         if self.is_leaf:
-            self._write_placement()
+            if not skipped:
+                self._write_placement()
+            self._subtree_quiet = skipped
+        elif skipped and all(c._subtree_quiet for c in self.children):
+            # the whole subtree reproduced itself last round and nothing
+            # has touched it since: descending would only re-derive the
+            # identical state level by level.  Not recursing is what
+            # makes a converged tree's adaptation round O(dirty), not
+            # O(total queries).
+            self._subtree_quiet = True
         else:
             for child in self.children:
                 assigned = [
@@ -664,6 +879,46 @@ class Coordinator:
                 for v in assigned:
                     expanded.extend(uncoarsen_vertex(v))
                 child._adapt_level(expanded, report)
+            self._subtree_quiet = skipped and all(
+                c._subtree_quiet for c in self.children
+            )
+
+    def _refresh_stripped_edges(self, v: QVertex) -> None:
+        """Re-estimate a just-stripped vertex's edges in place.
+
+        Before delta maintenance, edges touching a stripped coarse vertex
+        went stale until the next wholesale graph rebuild -- which no
+        longer happens every round.  q-n edges are reset to the stripped
+        vertex's re-aggregated rate maps (dropping n-vertices that become
+        isolated) and q-q overlaps are re-estimated against the current
+        neighbours' masks.
+        """
+        qg = self.qg
+        rates: Dict[VertexId, float] = {}
+        for node, rate in v.source_rates.items():
+            nvid = ("n", node)
+            rates[nvid] = rates.get(nvid, 0.0) + rate
+        for node, rate in v.proxy_rates.items():
+            nvid = ("n", node)
+            rates[nvid] = rates.get(nvid, 0.0) + rate
+        for nbr in list(qg.neighbors(v.vid)):
+            if nbr in qg.nverts:
+                new = rates.pop(nbr, 0.0)
+                qg.set_edge(v.vid, nbr, new)
+                if new == 0.0 and not qg.neighbors(nbr):
+                    qg.remove_vertex(nbr)
+            else:
+                other = qg.qverts.get(nbr)
+                if other is not None:
+                    qg.set_edge(
+                        v.vid, nbr,
+                        self.space.overlap_rate(v.mask, other.mask),
+                    )
+        for nvid, rate in rates.items():
+            # rate-map nodes that had no edge yet (only ones whose
+            # n-vertex this graph already tracks, as in rebuild_edges)
+            if rate > 0 and nvid in qg.nverts:
+                qg.add_edge(v.vid, nvid, rate)
 
     # ------------------------------------------------------------------
     # statistics refresh (Section 3.8)
@@ -671,14 +926,35 @@ class Coordinator:
     def refresh_statistics(self, query_loads: Dict[int, float]) -> None:
         """Propagate fresh per-query loads into every vertex of the tree.
 
-        Also re-derives per-source request rates from the (possibly
-        perturbed) substream space, which updates q-n edge weights on the
-        next graph rebuild.
+        The cheap common case -- only per-query loads moved -- updates
+        atom weights and re-sums exactly the coarse vertices whose
+        members changed (weights are read live by the optimizer, so no
+        graph mutation is needed).  When the substream space's rates were
+        perturbed since the last refresh, per-source rate maps are
+        re-derived everywhere and every coordinator's edges are marked
+        stale (re-estimated by the next adaptation round's graph sync).
         """
-        memo: Dict[VertexId, None] = {}
+        rates_changed = self.space.rates_generation != self._rates_gen
+        if rates_changed:
+            memo: Dict[VertexId, None] = {}
+            for coord in self.all_coordinators():
+                for v in coord.vertices.values():
+                    _refresh_vertex(v, query_loads, self.space, memo)
+                coord._stats_dirty = True
+                coord._edges_stale = True
+                coord._subtree_quiet = False
+                coord._rates_gen = self.space.rates_generation
+            return
+        changed_qids = set(query_loads)
+        memo2: Dict[int, bool] = {}
         for coord in self.all_coordinators():
+            dirty = False
             for v in coord.vertices.values():
-                _refresh_vertex(v, query_loads, self.space, memo)
+                if _refresh_weights(v, changed_qids, query_loads, memo2):
+                    dirty = True
+            if dirty:
+                coord._stats_dirty = True
+                coord._subtree_quiet = False
 
 
 def _strip_member(v: QVertex, query_id: int) -> None:
@@ -711,6 +987,43 @@ def _strip_member(v: QVertex, query_id: int) -> None:
     v.mask = mask
     v.source_rates = source_rates
     v.proxy_rates = proxy_rates
+
+
+def _refresh_weights(
+    v: QVertex,
+    changed_qids,
+    query_loads: Dict[int, float],
+    memo: Dict[int, bool],
+) -> bool:
+    """Weight-only refresh; returns whether ``v``'s weight changed.
+
+    Skips whole subtrees with no refreshed member; coarse weights are
+    re-summed only along paths where an atom actually changed.  Memoised
+    by object identity because vertex objects are shared across levels.
+    """
+    r = memo.get(id(v))
+    if r is not None:
+        return r
+    if not v.children:
+        ch = False
+        if v.members and v.members[0] in changed_qids:
+            new = query_loads[v.members[0]]
+            if v.weight != new:
+                v.weight = new
+                ch = True
+        memo[id(v)] = ch
+        return ch
+    if not any(m in changed_qids for m in v.members):
+        memo[id(v)] = False
+        return False
+    ch = False
+    for c in v.children:
+        if _refresh_weights(c, changed_qids, query_loads, memo):
+            ch = True
+    if ch:
+        v.weight = sum(c.weight for c in v.children)
+    memo[id(v)] = ch
+    return ch
 
 
 def _refresh_vertex(

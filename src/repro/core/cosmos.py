@@ -39,6 +39,14 @@ class CosmosConfig:
     #: cap on overlap edges kept per q-vertex
     max_overlap_neighbors: int = 20
     seed: int = 0
+    #: delta-maintain graph snapshots, cost workspaces and coarse plans
+    #: across rounds (False selects the full-rebuild reference mode;
+    #: both modes produce bit-identical placements)
+    incremental: bool = True
+    #: coarse-plan reuse policy: "replay" (reuse only on a full input
+    #: signature match), "partial" (also warm-start from clean merge
+    #: steps), or "off"
+    coarse_reuse: str = "replay"
 
 
 class Cosmos:
@@ -60,6 +68,9 @@ class Cosmos:
         self.tree: CoordinatorTree = build_coordinator_tree(
             self.processors, oracle, k=config.k
         )
+        # coarse plans are keyed by tree-local coordinator ids, so the
+        # store survives hierarchy rebuilds after membership changes
+        self._plan_store: Dict = {}
         self.root = Coordinator(
             self.tree.root,
             oracle,
@@ -69,6 +80,9 @@ class Cosmos:
             alpha=config.alpha,
             seed=config.seed,
             max_overlap_neighbors=config.max_overlap_neighbors,
+            incremental=config.incremental,
+            coarse_reuse=config.coarse_reuse,
+            plan_store=self._plan_store,
         )
         self._known_queries: Dict[int, QuerySpec] = {}
 
@@ -143,6 +157,9 @@ class Cosmos:
             alpha=self.config.alpha,
             seed=self.config.seed,
             max_overlap_neighbors=self.config.max_overlap_neighbors,
+            incremental=self.config.incremental,
+            coarse_reuse=self.config.coarse_reuse,
+            plan_store=self._plan_store,
         )
         self.root.adopt(list(self._known_queries.values()), old_placement)
 

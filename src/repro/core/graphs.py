@@ -16,19 +16,41 @@ Two graphs:
 A *mapping* assigns every query-graph vertex to a network-graph vertex;
 n-vertices are pinned (network constraint).  Quality is the **Weighted
 Edge Cut** (Eqn 3.2) subject to the load-balance constraint (Eqn 3.1).
+
+Incremental maintenance
+-----------------------
+
+Mutations are journalled: every structural change appends a compact delta
+op, and consumers that cache derived state (the :class:`GraphArrays`
+snapshot here, the ``CostWorkspace`` in ``fastcost``) replay the suffix of
+the journal since their last sync instead of rebuilding from scratch.
+``QueryGraph.incremental`` gates the patching path; with it off the graph
+behaves exactly like the historical rebuild-on-mutation implementation,
+which is kept as the bit-parity reference (same pattern as
+``wec_reference``).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 from scipy import sparse
 
 from ..obs import registry as _obs
-from ..query.interest import SubstreamSpace, iter_bits
+from ..query.interest import SubstreamSpace
 from ..query.workload import QuerySpec
 
 __all__ = [
@@ -41,11 +63,18 @@ __all__ = [
     "Mapping",
     "qvertex_from_query",
     "build_query_graph",
+    "attach_overlap_edges",
+    "stable_vertex_key",
     "DEFAULT_ALPHA",
+    "JOURNAL_LIMIT",
 ]
 
 #: The paper's load-imbalance tolerance (Section 3.1.1).
 DEFAULT_ALPHA = 0.1
+
+#: Journal entries kept before the oldest half is trimmed; consumers whose
+#: cursor falls off the retained suffix rebuild from scratch.
+JOURNAL_LIMIT = 65536
 
 VertexId = Hashable
 
@@ -158,6 +187,20 @@ class QVertex:
         )
 
 
+def stable_vertex_key(qv: QVertex) -> str:
+    """A tie-break key that is stable across optimizer runs.
+
+    Coarse vertex ids embed a process-global counter, so ``str(vid)``
+    orderings differ between two otherwise identical optimizer runs (e.g.
+    the incremental and the full-rebuild reference).  The member tuple is
+    content-derived and survives re-coarsening, so exact-tie decisions
+    keyed on it are reproducible.
+    """
+    if qv.members:
+        return str(tuple(sorted(qv.members)))
+    return str(qv.vid)
+
+
 @dataclass(frozen=True)
 class NVertex:
     """An n-vertex: a source or proxy pinned to a topology node.
@@ -179,18 +222,78 @@ Mapping = Dict[VertexId, VertexId]
 class QueryGraph:
     """q-vertices + n-vertices + weighted edges (adjacency maps).
 
-    Mutations bump an internal version counter so array snapshots
-    (:class:`GraphArrays`) built from the graph can be cached and reused
-    while the graph is unchanged.
+    Besides the adjacency maps the graph keeps a *canonical edge store*
+    (``_edges``, an insertion-ordered dict keyed by the edge's canonical
+    endpoint pair) and a *mutation journal*.  The journal records one
+    compact op per structural change:
+
+    ``("+q", vid)``
+        a q-vertex was added;
+    ``("+n", vid, clu, node)``
+        an n-vertex was added (self-contained: the vertex may be removed
+        again later in the same journal suffix);
+    ``("-v", vid)``
+        a vertex was removed (its per-edge removal ops precede it);
+    ``("e", a, b, w)``
+        edge ``(a, b)`` now has absolute weight ``w`` (``0.0`` = removed);
+        the pair is in canonical key direction;
+    ``("clear",)``
+        all edges dropped — consumers rebuild.
+
+    ``_version == _jbase + len(_journal)`` always holds; a consumer holding
+    cursor ``c`` obtained from :meth:`journal_cursor` can later fetch the
+    exact delta via :meth:`journal_since`.
     """
 
-    def __init__(self):
+    def __init__(self, incremental: bool = True):
         self.qverts: Dict[VertexId, QVertex] = {}
         self.nverts: Dict[VertexId, NVertex] = {}
         self.adj: Dict[VertexId, Dict[VertexId, float]] = {}
+        #: canonical edge store; insertion order == GraphArrays slot order
+        self._edges: Dict[Tuple[VertexId, VertexId], float] = {}
+        #: gates the snapshot-patching path of :meth:`arrays_for`
+        self.incremental = incremental
         #: bumped on every structural mutation; snapshot cache key
         self._version: int = 0
+        self._jbase: int = 0
+        self._journal: List[tuple] = []
         self._arrays_cache: Dict[int, Tuple[object, int, "GraphArrays"]] = {}
+
+    # ------------------------------------------------------------------
+    # journal
+    # ------------------------------------------------------------------
+    def _record(self, op: tuple) -> None:
+        self._journal.append(op)
+        self._version += 1
+        if len(self._journal) > JOURNAL_LIMIT:
+            drop = len(self._journal) // 2
+            del self._journal[:drop]
+            self._jbase += drop
+
+    def journal_cursor(self) -> int:
+        """Opaque cursor capturing the graph's current mutation point."""
+        return self._version
+
+    def journal_since(self, cursor: int) -> Optional[List[tuple]]:
+        """Ops recorded since ``cursor``, or ``None`` if trimmed away."""
+        if cursor < self._jbase:
+            return None
+        return self._journal[cursor - self._jbase:]
+
+    def _ekey(self, a: VertexId, b: VertexId) -> Tuple[VertexId, VertexId]:
+        """Canonical key direction for edge ``(a, b)``.
+
+        An existing edge keeps its stored direction; a new mixed q-n edge
+        puts the q endpoint first (so distance-matrix rows are only ever
+        needed for mapping-target sites and n-n edges).
+        """
+        if (a, b) in self._edges:
+            return (a, b)
+        if (b, a) in self._edges:
+            return (b, a)
+        if a in self.qverts or b not in self.qverts:
+            return (a, b)
+        return (b, a)
 
     # ------------------------------------------------------------------
     # construction
@@ -201,7 +304,7 @@ class QueryGraph:
             raise ValueError(f"duplicate vertex id {v.vid!r}")
         self.qverts[v.vid] = v
         self.adj.setdefault(v.vid, {})
-        self._version += 1
+        self._record(("+q", v.vid))
 
     def add_nvertex(self, v: NVertex) -> None:
         """Add an n-vertex; raises ``ValueError`` on a duplicate id."""
@@ -209,7 +312,7 @@ class QueryGraph:
             raise ValueError(f"duplicate vertex id {v.vid!r}")
         self.nverts[v.vid] = v
         self.adj.setdefault(v.vid, {})
-        self._version += 1
+        self._record(("+n", v.vid, v.clu, v.node))
 
     def add_edge(self, a: VertexId, b: VertexId, weight: float) -> None:
         """Accumulate ``weight`` onto the undirected edge ``(a, b)``.
@@ -220,34 +323,47 @@ class QueryGraph:
             return
         if weight <= 0:
             return
-        self.adj[a][b] = self.adj[a].get(b, 0.0) + weight
-        self.adj[b][a] = self.adj[b].get(a, 0.0) + weight
-        self._version += 1
+        key = self._ekey(a, b)
+        total = self._edges.get(key, 0.0) + weight
+        self._edges[key] = total
+        self.adj[a][b] = total
+        self.adj[b][a] = total
+        self._record(("e", key[0], key[1], total))
 
     def set_edge(self, a: VertexId, b: VertexId, weight: float) -> None:
         """Set the undirected edge ``(a, b)`` to exactly ``weight``.
 
-        A non-positive weight removes the edge; self-edges are ignored.
+        A non-positive weight removes the edge; self-edges, no-op removals
+        and value-equal overwrites are ignored (no version bump).
         """
         if a == b:
             return
+        key = self._ekey(a, b)
         if weight <= 0:
-            self.adj[a].pop(b, None)
-            self.adj[b].pop(a, None)
-            self._version += 1
+            if self._edges.pop(key, None) is None:
+                return
+            del self.adj[a][b]
+            del self.adj[b][a]
+            self._record(("e", key[0], key[1], 0.0))
             return
+        if self._edges.get(key) == weight:
+            return
+        self._edges[key] = weight
         self.adj[a][b] = weight
         self.adj[b][a] = weight
-        self._version += 1
+        self._record(("e", key[0], key[1], weight))
 
     def remove_vertex(self, vid: VertexId) -> None:
         """Remove a vertex and every edge incident to it."""
         for nbr in list(self.adj.get(vid, {})):
             del self.adj[nbr][vid]
+            key = (vid, nbr) if (vid, nbr) in self._edges else (nbr, vid)
+            del self._edges[key]
+            self._record(("e", key[0], key[1], 0.0))
         self.adj.pop(vid, None)
         self.qverts.pop(vid, None)
         self.nverts.pop(vid, None)
-        self._version += 1
+        self._record(("-v", vid))
 
     def clear_edges(self) -> None:
         """Drop every edge, keeping all vertices.
@@ -258,7 +374,15 @@ class QueryGraph:
         """
         for vid in self.adj:
             self.adj[vid] = {}
-        self._version += 1
+        self._edges.clear()
+        self._record(("clear",))
+
+    def prune_isolated_nverts(self) -> int:
+        """Drop n-vertices with no incident edge; returns how many."""
+        drop = [vid for vid in self.nverts if not self.adj.get(vid)]
+        for vid in drop:
+            self.remove_vertex(vid)
+        return len(drop)
 
     # ------------------------------------------------------------------
     # inspection
@@ -286,16 +410,11 @@ class QueryGraph:
         return self.adj.get(vid, {})
 
     def edges(self) -> List[Tuple[VertexId, VertexId, float]]:
-        """All undirected edges as ``(a, b, weight)``, each edge once."""
-        out = []
-        seen = set()
-        for a, nbrs in self.adj.items():
-            for b, w in nbrs.items():
-                key = (a, b) if str(a) <= str(b) else (b, a)
-                if key not in seen:
-                    seen.add(key)
-                    out.append((key[0], key[1], w))
-        return out
+        """All undirected edges as ``(a, b, weight)``, each edge once.
+
+        Canonical store order: edge insertion order, stored direction.
+        """
+        return [(a, b, w) for (a, b), w in self._edges.items()]
 
     def vertex_count(self) -> int:
         """Total number of vertices (q plus n)."""
@@ -322,8 +441,9 @@ class QueryGraph:
         """Weighted Edge Cut of a mapping (Eqn 3.2, undirected edges once).
 
         Delegates to the array-backed fast path (:class:`GraphArrays`);
-        the snapshot is cached per graph version, so repeated evaluations
-        against an unchanged graph cost one vectorised gather each.
+        the snapshot is cached per graph version and delta-patched from
+        the mutation journal, so repeated evaluations against a lightly
+        mutated graph cost one vectorised gather each.
         :meth:`wec_reference` keeps the pure-Python definition.
         """
         if _obs.ACTIVE is not None:
@@ -355,17 +475,37 @@ class QueryGraph:
     def arrays_for(self, ng: NetworkGraph) -> "GraphArrays":
         """The cached :class:`GraphArrays` snapshot against ``ng``.
 
-        Rebuilt lazily whenever the graph has mutated since the last call
-        (tracked via the internal version counter) or when called with a
-        different network graph.
+        On a version mismatch the cached snapshot is *patched in place*
+        from the mutation journal when (a) :attr:`incremental` is on,
+        (b) the delta is still retained, contains no ``clear``, and is
+        small relative to the graph.  Otherwise the snapshot is rebuilt —
+        the full-rebuild path doubles as the bit-parity reference.
         """
         key = id(ng)
         hit = self._arrays_cache.get(key)
-        if hit is not None and hit[0] is ng and hit[1] == self._version:
-            return hit[2]
+        if hit is not None and hit[0] is ng:
+            if hit[1] == self._version:
+                return hit[2]
+            if self.incremental:
+                ops = self.journal_since(hit[1])
+                budget = max(32, (len(self._edges) + self.vertex_count()) // 4)
+                if (
+                    ops is not None
+                    and len(ops) <= budget
+                    and all(op[0] != "clear" for op in ops)
+                ):
+                    arrays = hit[2]
+                    arrays.apply_journal(ops)
+                    self._arrays_cache = {key: (ng, self._version, arrays)}
+                    if _obs.ACTIVE is not None:
+                        _obs.ACTIVE.inc("opt.snapshot_patches")
+                        _obs.ACTIVE.inc("opt.deltas_applied", len(ops))
+                    return arrays
         arrays = GraphArrays(self, ng)
         # keep a strong ref to ng so the id() key cannot be recycled
         self._arrays_cache = {key: (ng, self._version, arrays)}
+        if _obs.ACTIVE is not None and hit is not None:
+            _obs.ACTIVE.inc("opt.snapshot_rebuilds")
         return arrays
 
     def loads(self, mapping: Mapping, ng: NetworkGraph) -> Dict[VertexId, float]:
@@ -404,29 +544,33 @@ class QueryGraph:
 
 
 class GraphArrays:
-    """CSR-style array snapshot of one (query graph, network graph) pair.
+    """Array snapshot of one (query graph, network graph) pair.
 
     The object API of :class:`QueryGraph` is dictionary-based and
     convenient to mutate; the optimizer's hot kernels, however, only ever
     *read* the graph, and at 10k queries the per-edge Python iteration of
-    the reference paths dominates running time.  ``GraphArrays`` freezes
-    the graph into flat numpy arrays:
+    the reference paths dominates running time.  ``GraphArrays`` keeps the
+    graph as flat numpy arrays:
 
-    * an integer index over all vertices (q-vertices first, then
-      n-vertices), with per-q-vertex weights in :attr:`qweights`;
-    * the undirected edge list in COO form (:attr:`edge_u`,
-      :attr:`edge_v`, :attr:`edge_w`, each edge once) plus the symmetric
-      CSR adjacency (:attr:`indptr`, :attr:`indices`, :attr:`weights`);
-    * the *site universe* -- the topology nodes any vertex can occupy
-      (target sites plus n-vertex resting nodes) -- with a dense
-      inter-site distance matrix :attr:`D` filled from the latency
-      oracle's cached rows when available.
+    * per-vertex *slots* (kind flag, pinned-site index for n-vertices);
+    * per-edge slots (endpoint slots, weight, alive flag), appended in
+      canonical edge-store order and tombstoned on removal so that the
+      ascending live-slot order always equals the order a fresh rebuild
+      would enumerate — the foundation of the patched-vs-rebuilt
+      bit-parity guarantee;
+    * a slab-allocated incidence structure (per-vertex edge-slot rows
+      with slack, relocated on overflow) powering O(degree) updates;
+    * the *site universe* -- the topology nodes any vertex can occupy --
+      with a growable dense inter-site distance matrix :attr:`D` filled
+      row-lazily from the latency oracle when available.
 
-    With those in place the Weighted Edge Cut of a mapping is one fancy-
-    indexing gather and a dot product (:meth:`wec`), and per-target loads
-    are one ``bincount`` (:meth:`loads`).  Snapshots are immutable; the
-    owning graph caches one per version via
-    :meth:`QueryGraph.arrays_for`.
+    Unlike its historical namesake the snapshot is **mutable**:
+    :meth:`apply_journal` patches it in place from a
+    :class:`QueryGraph` journal suffix, and dead-slot pressure triggers a
+    compaction (a full rebuild, which is bit-transparent because live
+    order equals canonical order).  :meth:`begin_moves` /
+    :meth:`update` maintain a WEC total across single-vertex moves in
+    O(degree) instead of O(edges).
     """
 
     def __init__(self, qg: QueryGraph, ng: NetworkGraph):
@@ -436,142 +580,376 @@ class GraphArrays:
         self.target_index: Dict[VertexId, int] = {
             t: i for i, t in enumerate(self.targets)
         }
-
-        self.qvids: List[VertexId] = list(qg.qverts)
-        self.nvids: List[VertexId] = list(qg.nverts)
-        self.nq = len(self.qvids)
-        self.vindex: Dict[VertexId, int] = {
-            v: i for i, v in enumerate(itertools.chain(self.qvids, self.nvids))
-        }
-        self.qweights = np.asarray(
-            [qg.qverts[v].weight for v in self.qvids], dtype=float
-        )
-
-        # --- site universe and inter-site distance matrix -------------
-        sites: List[int] = []
-        site_pos: Dict[int, int] = {}
-
-        def intern(site: int) -> int:
-            if site not in site_pos:
-                site_pos[site] = len(sites)
-                sites.append(site)
-            return site_pos[site]
-
-        self.target_site_idx = np.asarray(
-            [intern(ng.site(t)) for t in self.targets], dtype=np.int64
-        )
-        nfixed = []
-        for vid in self.nvids:
-            nv = qg.nverts[vid]
-            node = ng.site(nv.clu) if nv.clu is not None else nv.node
-            nfixed.append(intern(node))
-        self.nfixed = np.asarray(nfixed, dtype=np.int64)
-        self.sites = sites
-
-        # --- edges: COO (each undirected edge once) and symmetric CSR -
-        eu: List[int] = []
-        ev: List[int] = []
-        ew: List[float] = []
-        vindex = self.vindex
-        for a, nbrs in qg.adj.items():
-            ia = vindex[a]
-            for b, w in nbrs.items():
-                ib = vindex[b]
-                if ia < ib:
-                    eu.append(ia)
-                    ev.append(ib)
-                    ew.append(w)
-        self.edge_u = np.asarray(eu, dtype=np.int64)
-        self.edge_v = np.asarray(ev, dtype=np.int64)
-        self.edge_w = np.asarray(ew, dtype=float)
-
-        # --- distance matrix over the site universe -------------------
-        # Only rows that can appear as a gather's first index are filled:
-        # q-vertices sort before n-vertices, so `edge_u` endpoints sit at
-        # target sites except for (rare, caller-constructed) n-n edges,
-        # whose resting rows are added explicitly.  Target-site rows are
-        # exactly the latency rows the mapping algorithms already fetch,
-        # so no extra Dijkstra runs are triggered here.
-        row_sites = set(self.target_site_idx.tolist())
-        if self.edge_u.size:
-            nn = self.edge_u >= self.nq
-            if nn.any():
-                row_sites.update(self.nfixed[self.edge_u[nn] - self.nq].tolist())
-        m = len(sites)
-        D = np.zeros((m, m))
-        oracle = getattr(ng, "oracle", None)
-        if oracle is not None:
-            site_arr = np.asarray(sites, dtype=np.int64)
-            for i in row_sites:
-                D[i, :] = np.asarray(oracle.row(sites[i]))[site_arr]
-        else:
-            for i in row_sites:
-                a = sites[i]
-                for j in range(m):
-                    if j != i:
-                        D[i, j] = ng.site_distance(a, sites[j])
-        self.D = D
-
-        nv = len(self.vindex)
-        if self.edge_u.size:
-            heads = np.concatenate([self.edge_u, self.edge_v])
-            tails = np.concatenate([self.edge_v, self.edge_u])
-            ws = np.concatenate([self.edge_w, self.edge_w])
-            order = np.argsort(heads, kind="stable")
-            self.indices = tails[order]
-            self.weights = ws[order]
-            self.indptr = np.zeros(nv + 1, dtype=np.int64)
-            np.cumsum(np.bincount(heads, minlength=nv), out=self.indptr[1:])
-        else:
-            self.indices = np.empty(0, dtype=np.int64)
-            self.weights = np.empty(0, dtype=float)
-            self.indptr = np.zeros(nv + 1, dtype=np.int64)
+        self._oracle = getattr(ng, "oracle", None)
+        self._build()
 
     # ------------------------------------------------------------------
-    def neighbor_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
-        """CSR neighbour (indices, weights) arrays of vertex index ``i``."""
-        lo, hi = self.indptr[i], self.indptr[i + 1]
-        return self.indices[lo:hi], self.weights[lo:hi]
+    # construction / compaction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        qg, ng = self.qg, self.ng
+        # --- site universe and distance matrix ------------------------
+        self.sites: List[int] = []
+        self._site_pos: Dict[int, int] = {}
+        cap0 = max(2, len(self.targets) + len(qg.nverts) + 1)
+        self._D = np.zeros((cap0, cap0))
+        self._row_filled = np.zeros(cap0, dtype=bool)
+        self.target_site_idx = np.asarray(
+            [self._intern_site(ng.site(t)) for t in self.targets],
+            dtype=np.int64,
+        )
+
+        # --- vertex slots ---------------------------------------------
+        nv = qg.vertex_count()
+        vcap = max(8, nv)
+        self._vids: List[Optional[VertexId]] = []
+        self._vslot: Dict[VertexId, int] = {}
+        self._visq = np.zeros(vcap, dtype=bool)
+        self._valive = np.zeros(vcap, dtype=bool)
+        self._vfixed = np.full(vcap, -1, dtype=np.int64)
+        self._inc_start = np.zeros(vcap, dtype=np.int64)
+        self._inc_len = np.zeros(vcap, dtype=np.int64)
+        self._inc_cap = np.zeros(vcap, dtype=np.int64)
+        self._vdead = 0
+        for vid in qg.qverts:
+            self._new_vslot(vid, True, -1)
+        for vid, nvert in qg.nverts.items():
+            site = ng.site(nvert.clu) if nvert.clu is not None else nvert.node
+            self._new_vslot(vid, False, self._intern_site(site))
+        for i in self.target_site_idx.tolist():
+            self._ensure_row(i)
+
+        # --- edge slots + incidence slabs -----------------------------
+        ne = len(qg._edges)
+        ecap = max(16, ne + ne // 4)
+        self._eu = np.zeros(ecap, dtype=np.int64)
+        self._ev = np.zeros(ecap, dtype=np.int64)
+        self._ew = np.zeros(ecap, dtype=float)
+        self._ealive = np.zeros(ecap, dtype=bool)
+        self._eslot: Dict[Tuple[VertexId, VertexId], int] = {}
+        self._ne = 0
+        self._edead = 0
+        self._live_cache: Optional[np.ndarray] = None
+        # size incidence rows to exact degree plus slack
+        deg = np.zeros(len(self._vids) + 1, dtype=np.int64)
+        for a, b in qg._edges:
+            deg[self._vslot[a]] += 1
+            deg[self._vslot[b]] += 1
+        caps = deg + np.maximum(2, deg >> 2)
+        self._inc_pool = np.zeros(int(caps.sum()) + 64, dtype=np.int64)
+        tail = 0
+        for s in range(len(self._vids)):
+            self._inc_start[s] = tail
+            self._inc_cap[s] = caps[s]
+            self._inc_len[s] = 0
+            tail += int(caps[s])
+        self._inc_tail = tail
+        for (a, b), w in qg._edges.items():
+            self._append_edge(a, b, w)
+        self._tracked = None
+
+    def _new_vslot(self, vid: VertexId, isq: bool, fixed: int) -> int:
+        s = len(self._vids)
+        if s == self._visq.size:
+            grow = max(16, s)
+            self._visq = np.concatenate([self._visq, np.zeros(grow, dtype=bool)])
+            self._valive = np.concatenate(
+                [self._valive, np.zeros(grow, dtype=bool)]
+            )
+            self._vfixed = np.concatenate(
+                [self._vfixed, np.full(grow, -1, dtype=np.int64)]
+            )
+            zeros = np.zeros(grow, dtype=np.int64)
+            self._inc_start = np.concatenate([self._inc_start, zeros])
+            self._inc_len = np.concatenate([self._inc_len, zeros.copy()])
+            self._inc_cap = np.concatenate([self._inc_cap, zeros.copy()])
+        self._vids.append(vid)
+        self._vslot[vid] = s
+        self._visq[s] = isq
+        self._valive[s] = True
+        self._vfixed[s] = fixed
+        self._inc_start[s] = 0
+        self._inc_len[s] = 0
+        self._inc_cap[s] = 0
+        return s
+
+    def _intern_site(self, site: int) -> int:
+        i = self._site_pos.get(site)
+        if i is not None:
+            return i
+        i = len(self.sites)
+        self._site_pos[site] = i
+        self.sites.append(site)
+        if i >= self._D.shape[0]:
+            cap = max(2 * self._D.shape[0], i + 1)
+            D = np.zeros((cap, cap))
+            D[: self._D.shape[0], : self._D.shape[1]] = self._D
+            self._D = D
+            filled = np.zeros(cap, dtype=bool)
+            filled[: self._row_filled.size] = self._row_filled
+            self._row_filled = filled
+        # extend the new column for rows already materialised
+        for r in np.flatnonzero(self._row_filled[:i]).tolist():
+            a = self.sites[r]
+            if a != site:
+                if self._oracle is not None:
+                    self._D[r, i] = float(np.asarray(self._oracle.row(a))[site])
+                else:
+                    self._D[r, i] = self.ng.site_distance(a, site)
+        return i
+
+    def _ensure_row(self, i: int) -> None:
+        if self._row_filled[i]:
+            return
+        m = len(self.sites)
+        a = self.sites[i]
+        if self._oracle is not None:
+            row = np.asarray(self._oracle.row(a))
+            self._D[i, :m] = row[np.asarray(self.sites, dtype=np.int64)]
+            self._D[i, i] = 0.0
+        else:
+            for j in range(m):
+                if j != i:
+                    self._D[i, j] = self.ng.site_distance(a, self.sites[j])
+        self._row_filled[i] = True
+
+    def _inc_append(self, vs: int, es: int) -> None:
+        length = int(self._inc_len[vs])
+        if length == self._inc_cap[vs]:
+            newc = max(4, 2 * length)
+            if self._inc_tail + newc > self._inc_pool.size:
+                grow = max(self._inc_pool.size, self._inc_tail + newc + 64)
+                self._inc_pool = np.concatenate(
+                    [self._inc_pool, np.zeros(grow, dtype=np.int64)]
+                )
+            start = int(self._inc_start[vs])
+            self._inc_pool[self._inc_tail : self._inc_tail + length] = (
+                self._inc_pool[start : start + length]
+            )
+            self._inc_start[vs] = self._inc_tail
+            self._inc_cap[vs] = newc
+            self._inc_tail += newc
+        self._inc_pool[int(self._inc_start[vs]) + length] = es
+        self._inc_len[vs] = length + 1
+
+    def _append_edge(self, a: VertexId, b: VertexId, w: float) -> None:
+        sa = self._vslot[a]
+        sb = self._vslot[b]
+        s = self._ne
+        if s == self._eu.size:
+            grow = max(16, s)
+            self._eu = np.concatenate([self._eu, np.zeros(grow, dtype=np.int64)])
+            self._ev = np.concatenate([self._ev, np.zeros(grow, dtype=np.int64)])
+            self._ew = np.concatenate([self._ew, np.zeros(grow)])
+            self._ealive = np.concatenate(
+                [self._ealive, np.zeros(grow, dtype=bool)]
+            )
+        self._eu[s] = sa
+        self._ev[s] = sb
+        self._ew[s] = w
+        self._ealive[s] = True
+        self._eslot[(a, b)] = s
+        self._ne += 1
+        self._live_cache = None
+        self._inc_append(sa, s)
+        self._inc_append(sb, s)
+        if not self._visq[sa]:
+            # n-n edge: the gather reads row D[site(a), :]
+            self._ensure_row(int(self._vfixed[sa]))
+
+    # ------------------------------------------------------------------
+    # journal patching
+    # ------------------------------------------------------------------
+    def apply_journal(self, ops: Sequence[tuple]) -> None:
+        """Patch the snapshot in place from a journal suffix.
+
+        Live slot order is preserved equal to the canonical edge-store /
+        vertex-dict orders, so a patched snapshot is bit-identical to a
+        rebuilt one (same gather sequence, same reduction order).
+        """
+        ng = self.ng
+        self._tracked = None
+        for op in ops:
+            tag = op[0]
+            if tag == "e":
+                _, a, b, w = op
+                s = self._eslot.get((a, b))
+                if w <= 0.0:
+                    if s is not None:
+                        del self._eslot[(a, b)]
+                        self._ealive[s] = False
+                        self._edead += 1
+                        self._live_cache = None
+                elif s is not None:
+                    self._ew[s] = w
+                else:
+                    self._append_edge(a, b, w)
+            elif tag == "+q":
+                self._new_vslot(op[1], True, -1)
+            elif tag == "+n":
+                _, vid, clu, node = op
+                site = ng.site(clu) if clu is not None else node
+                self._new_vslot(vid, False, self._intern_site(site))
+            elif tag == "-v":
+                s = self._vslot.pop(op[1], None)
+                if s is not None:
+                    self._vids[s] = None
+                    self._valive[s] = False
+                    self._inc_len[s] = 0
+                    self._vdead += 1
+            else:  # ("clear",) — arrays_for rebuilds instead, but be safe
+                self._build()
+                return
+        live_e = self._ne - self._edead
+        live_v = len(self._vids) - self._vdead
+        if (self._edead > 64 and self._edead > live_e) or (
+            self._vdead > 64 and self._vdead > live_v
+        ):
+            self._build()
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.inc("opt.snapshot_compactions")
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def _live_edge_slots(self) -> np.ndarray:
+        if self._live_cache is None:
+            if self._edead:
+                self._live_cache = np.flatnonzero(self._ealive[: self._ne])
+            else:
+                self._live_cache = np.arange(self._ne, dtype=np.int64)
+        return self._live_cache
+
+    @property
+    def D(self) -> np.ndarray:
+        """Dense inter-site distance matrix over the site universe."""
+        m = len(self.sites)
+        return self._D[:m, :m]
+
+    @property
+    def edge_u(self) -> np.ndarray:
+        """Live edge endpoint slots (first endpoint, canonical order)."""
+        return self._eu[self._live_edge_slots()]
+
+    @property
+    def edge_v(self) -> np.ndarray:
+        """Live edge endpoint slots (second endpoint, canonical order)."""
+        return self._ev[self._live_edge_slots()]
+
+    @property
+    def edge_w(self) -> np.ndarray:
+        """Live edge weights, canonical order."""
+        return self._ew[self._live_edge_slots()]
 
     def positions(self, mapping: Mapping) -> np.ndarray:
-        """Site-universe index of every vertex under ``mapping``.
+        """Site-universe index of every vertex *slot* under ``mapping``.
 
         q-vertices occupy the site of their mapped target; n-vertices sit
-        at their precomputed resting node.  Raises ``KeyError`` when a
-        q-vertex is missing from the mapping, like the reference path.
+        at their pinned node; dead slots are clamped to site 0 (they are
+        never gathered through a live edge).  Raises ``KeyError`` when a
+        live q-vertex is missing from the mapping, like the reference
+        path.
         """
+        nslots = len(self._vids)
+        pos = self._vfixed[:nslots].copy()
         tindex = self.target_index
-        qpos = self.target_site_idx[
-            np.fromiter(
-                (tindex[mapping[v]] for v in self.qvids),
+        qslots = np.flatnonzero(self._valive[:nslots] & self._visq[:nslots])
+        if qslots.size:
+            vids = self._vids
+            ti = np.fromiter(
+                (tindex[mapping[vids[s]]] for s in qslots.tolist()),
                 dtype=np.int64,
-                count=self.nq,
+                count=qslots.size,
             )
-        ] if self.nq else np.empty(0, dtype=np.int64)
-        return np.concatenate([qpos, self.nfixed])
+            pos[qslots] = self.target_site_idx[ti]
+        np.maximum(pos, 0, out=pos)
+        return pos
 
     def wec(self, mapping: Mapping) -> float:
         """Weighted Edge Cut of ``mapping`` (vectorised Eqn 3.2)."""
-        if self.edge_w.size == 0:
+        live = self._live_edge_slots()
+        if live.size == 0:
             return 0.0
         pos = self.positions(mapping)
-        return float(
-            self.edge_w @ self.D[pos[self.edge_u], pos[self.edge_v]]
-        )
+        contrib = self._ew[live] * self._D[pos[self._eu[live]], pos[self._ev[live]]]
+        return float(np.add.reduce(contrib))
 
     def loads(self, mapping: Mapping) -> np.ndarray:
-        """Per-target q-vertex load under ``mapping`` (target order)."""
-        if self.nq == 0:
-            return np.zeros(len(self.targets))
+        """Per-target q-vertex load under ``mapping`` (target order).
+
+        Weights are read live from the owning graph, so in-place weight
+        refreshes (Section 3.8) are reflected without a journal op.
+        """
+        qverts = self.qg.qverts
+        nt = len(self.targets)
+        if not qverts:
+            return np.zeros(nt)
         tindex = self.target_index
         ti = np.fromiter(
-            (tindex[mapping[v]] for v in self.qvids),
+            (tindex[mapping[v]] for v in qverts),
             dtype=np.int64,
-            count=self.nq,
+            count=len(qverts),
         )
-        return np.bincount(
-            ti, weights=self.qweights, minlength=len(self.targets)
+        w = np.fromiter(
+            (qv.weight for qv in qverts.values()),
+            dtype=float,
+            count=len(qverts),
         )
+        return np.bincount(ti, weights=w, minlength=nt)
+
+    # ------------------------------------------------------------------
+    # O(degree) move tracking
+    # ------------------------------------------------------------------
+    def begin_moves(self, mapping: Mapping) -> float:
+        """Start a tracked-WEC session from ``mapping``; returns the WEC.
+
+        Subsequent :meth:`update` calls adjust the cached total in
+        O(degree) per move.  The tracked total accumulates float
+        adjustments, so it may drift from a fresh :meth:`wec` evaluation
+        by ~1e-15 relative error per move; optimizer *decisions* never
+        consume it — it exists for cheap monitoring and benchmarks.  Any
+        :meth:`apply_journal` or compaction ends the session.
+        """
+        pos = self.positions(mapping)
+        live = self._live_edge_slots()
+        contrib = np.zeros(self._ne)
+        if live.size:
+            contrib[live] = (
+                self._ew[live] * self._D[pos[self._eu[live]], pos[self._ev[live]]]
+            )
+            total = float(np.add.reduce(contrib[live]))
+        else:
+            total = 0.0
+        self._tracked = [pos, contrib, total]
+        return total
+
+    def update(self, vid: VertexId, target: VertexId) -> float:
+        """Move q-vertex ``vid`` to ``target``; returns the tracked WEC.
+
+        O(degree of ``vid``): only the incident edges' contributions are
+        recomputed.  Requires an active :meth:`begin_moves` session.
+        """
+        if self._tracked is None:
+            raise RuntimeError("no tracked-WEC session; call begin_moves first")
+        pos, contrib, total = self._tracked
+        s = self._vslot[vid]
+        pos[s] = self.target_site_idx[self.target_index[target]]
+        start = int(self._inc_start[s])
+        row = self._inc_pool[start : start + int(self._inc_len[s])]
+        row = row[self._ealive[row]]
+        if row.size:
+            old = float(np.add.reduce(contrib[row]))
+            fresh = self._ew[row] * self._D[pos[self._eu[row]], pos[self._ev[row]]]
+            contrib[row] = fresh
+            total += float(np.add.reduce(fresh)) - old
+        self._tracked[2] = total
+        return total
+
+    def tracked_wec(self) -> float:
+        """Current total of the tracked-WEC session."""
+        if self._tracked is None:
+            raise RuntimeError("no tracked-WEC session; call begin_moves first")
+        return self._tracked[2]
 
 
 def qvertex_from_query(q: QuerySpec, space: SubstreamSpace) -> QVertex:
@@ -600,7 +978,7 @@ def build_query_graph(
     * q-n edges get the aggregated request / result rates;
     * q-q overlap edges get ``rate(mask_a AND mask_b)``; to keep the graph
       sparse each q-vertex keeps at most ``max_overlap_neighbors`` heaviest
-      overlap edges (candidates found via a substream inverted index, so
+      overlap edges (candidates found via a substream incidence matrix, so
       disjoint queries never pay a comparison).
     """
     g = QueryGraph()
@@ -628,6 +1006,62 @@ def build_query_graph(
     return g
 
 
+def _incidence_matrix(
+    qlist: List[QVertex], space: SubstreamSpace
+) -> sparse.csr_matrix:
+    """CSR query x substream incidence matrix (rows follow ``qlist``).
+
+    Per-row indices come from ``space._indices`` (ascending), so the
+    matrix is canonical without an extra sort.
+    """
+    indptr = np.zeros(len(qlist) + 1, dtype=np.int64)
+    per_row: List[np.ndarray] = []
+    for i, qv in enumerate(qlist):
+        arr = space._indices(qv.mask)
+        per_row.append(arr)
+        indptr[i + 1] = indptr[i] + arr.size
+    if per_row:
+        indices = np.concatenate(per_row).astype(np.int32, copy=False)
+    else:
+        indices = np.empty(0, dtype=np.int32)
+    data = np.ones(indices.size)
+    return sparse.csr_matrix(
+        (data, indices, indptr), shape=(len(qlist), len(space))
+    )
+
+
+def _attach_topk(
+    g: QueryGraph,
+    qlist: List[QVertex],
+    rows: Sequence[int],
+    overlap: sparse.csr_matrix,
+    max_neighbors: int,
+) -> None:
+    """Keep each row's ``max_neighbors`` heaviest overlaps as edges.
+
+    ``overlap`` holds one row per entry of ``rows`` (global q indices into
+    ``qlist``).  Rows are canonicalised (sorted indices) first so the
+    tie-breaking of the top-k selection is deterministic regardless of how
+    the product was computed (full matrix vs row slice).
+    """
+    overlap.sort_indices()
+    for r, i in enumerate(rows):
+        start, end = overlap.indptr[r], overlap.indptr[r + 1]
+        js = overlap.indices[start:end]
+        ws = overlap.data[start:end]
+        keep = (js != i) & (ws > 0)
+        js, ws = js[keep], ws[keep]
+        if js.size > max_neighbors:
+            top = np.argpartition(-ws, max_neighbors - 1)[:max_neighbors]
+            js, ws = js[top], ws[top]
+        a = qlist[i].vid
+        adj_a = g.adj[a]
+        for j, w in zip(js, ws):
+            b = qlist[int(j)].vid
+            if b not in adj_a:
+                g.set_edge(a, b, float(w))
+
+
 def _add_overlap_edges(
     g: QueryGraph,
     qlist: List[QVertex],
@@ -642,30 +1076,30 @@ def _add_overlap_edges(
     """
     if len(qlist) < 2:
         return
-    rows: List[int] = []
-    cols: List[int] = []
-    for i, qv in enumerate(qlist):
-        for bit in iter_bits(qv.mask):
-            rows.append(i)
-            cols.append(bit)
-    n_sub = len(space)
-    incidence = sparse.csr_matrix(
-        (np.ones(len(rows)), (rows, cols)), shape=(len(qlist), n_sub)
-    )
+    incidence = _incidence_matrix(qlist, space)
     weighted = incidence.multiply(space.rates[np.newaxis, :]).tocsr()
     overlap = (weighted @ incidence.T).tocsr()
-    overlap.setdiag(0.0)
-    overlap.eliminate_zeros()
+    _attach_topk(g, qlist, range(len(qlist)), overlap, max_neighbors)
 
-    for i in range(len(qlist)):
-        start, end = overlap.indptr[i], overlap.indptr[i + 1]
-        js = overlap.indices[start:end]
-        ws = overlap.data[start:end]
-        if len(js) > max_neighbors:
-            keep = np.argpartition(-ws, max_neighbors - 1)[:max_neighbors]
-            js, ws = js[keep], ws[keep]
-        a = qlist[i].vid
-        for j, w in zip(js, ws):
-            b = qlist[int(j)].vid
-            if b not in g.adj[a] and w > 0:
-                g.set_edge(a, b, float(w))
+
+def attach_overlap_edges(
+    g: QueryGraph,
+    qlist: List[QVertex],
+    new_rows: Sequence[int],
+    space: SubstreamSpace,
+    max_neighbors: int = 20,
+) -> None:
+    """Attach overlap edges for a *subset* of q-vertices in one product.
+
+    ``new_rows`` are indices into ``qlist`` (which must enumerate every
+    q-vertex of ``g``, in graph order).  Each listed row is scored against
+    the full query population — one row-sliced sparse product instead of a
+    per-pair ``overlap_rate`` loop — and keeps its ``max_neighbors``
+    heaviest overlaps, exactly like the batch path does at build time.
+    """
+    if len(qlist) < 2 or not len(new_rows):
+        return
+    incidence = _incidence_matrix(qlist, space)
+    weighted = incidence.multiply(space.rates[np.newaxis, :]).tocsr()
+    sub = (weighted[list(new_rows)] @ incidence.T).tocsr()
+    _attach_topk(g, qlist, list(new_rows), sub, max_neighbors)

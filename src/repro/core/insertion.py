@@ -61,20 +61,33 @@ def choose_target(
     positions: Dict[VertexId, int],
     loads: Dict[VertexId, float],
     limits: Dict[VertexId, float],
+    workspace=None,
 ) -> Tuple[VertexId, bool]:
     """The WEC-minimising feasible target for a (newly attached) vertex.
 
     Returns ``(target, feasible)``; when no child can accommodate the
     vertex the least-violating one is returned with ``feasible = False``.
+    When a :class:`~repro.core.fastcost.CostWorkspace` is passed the costs
+    of all targets come from one vectorised evaluation (``positions`` is
+    then ignored; the workspace's position array is authoritative).
     """
+    if workspace is not None:
+        costs = workspace.attach_costs(v.vid)
+        tindex = workspace.target_index
+
+        def cost_of(t: VertexId) -> float:
+            return float(costs[tindex[t]])
+
+    else:
+
+        def cost_of(t: VertexId) -> float:
+            return _attach_cost(qg, v.vid, t, positions, ng)
+
     candidates = [
         t for t in ng.ids() if loads[t] + v.weight <= limits[t] + 1e-9
     ]
     if candidates:
-        target = min(
-            candidates,
-            key=lambda t: (_attach_cost(qg, v.vid, t, positions, ng), str(t)),
-        )
+        target = min(candidates, key=lambda t: (cost_of(t), str(t)))
         return target, True
     target = min(
         ng.ids(), key=lambda t: (loads[t] + v.weight - limits[t], str(t))

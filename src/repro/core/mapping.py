@@ -189,13 +189,13 @@ def refine_mapping(
             matched[r] = True
             total_moves += 1
             current_wec -= float(best_gain)
-            # refresh the rows of the moved vertex's q-neighbours
+            # refresh the rows of the moved vertex's q-neighbours; `qrow`
+            # membership doubles as the q-vertex test (a long-lived
+            # workspace no longer keeps q slots contiguous at the front)
             for nb in ws.neighbour_indices(vid):
-                if nb < ws.nq:
-                    nbr_vid = ws.vids[nb]
-                    rr = qrow.get(nbr_vid)
-                    if rr is not None:
-                        cost[rr] = ws.attach_costs_idx(nb)
+                rr = qrow.get(ws.vids[nb])
+                if rr is not None:
+                    cost[rr] = ws.attach_costs_idx(nb)
             if current_wec < min_wec - 1e-9:
                 min_wec = current_wec
                 min_mapping = dict(mapping)

@@ -32,7 +32,14 @@ import numpy as np
 
 from .diffusion import diffusion_solution
 from .fastcost import CostWorkspace
-from .graphs import DEFAULT_ALPHA, Mapping, NetworkGraph, QueryGraph, VertexId
+from .graphs import (
+    DEFAULT_ALPHA,
+    Mapping,
+    NetworkGraph,
+    QueryGraph,
+    VertexId,
+    stable_vertex_key,
+)
 
 __all__ = ["RebalanceStats", "rebalance", "refine_distribution"]
 
@@ -109,15 +116,46 @@ def rebalance(
     # ignore noise-level flows (< 0.1% of the average target load); the
     # floor is applied inside the solver so they are never materialised
     floor = 1e-3 * (total_q / max(1, len(ng)))
+    # Section 3.7 trigger: re-balancing runs only while some child
+    # violates the load constraint (Eqn 3.1).  A feasible assignment
+    # always has residual sub-alpha imbalance (loads are discrete), and
+    # chasing it moves vertices back and forth forever -- the constraint
+    # is the paper's own stopping criterion, and quiescing here is what
+    # lets converged coordinators skip whole adaptation rounds.
+    if all(
+        loads[t] <= (1.0 + alpha) * targets[t] + floor for t in targets
+    ):
+        return stats
     flows = diffusion_solution(loads, targets, floor=floor)
     stats.flows_requested = len(flows)
 
     ws = workspace or CostWorkspace(qg, ng)
+    ws.ensure_synced()
     ws.init_positions(assignment)
     tindex = ws.target_index
     by_source: Dict[VertexId, List[VertexId]] = {}
     for vid in qg.qverts:
         by_source.setdefault(assignment[vid], []).append(vid)
+
+    # a vertex's attach-cost row depends only on its neighbours'
+    # positions, so a move invalidates O(degree) rows, not all of them;
+    # caching the rest is what keeps the flow-realisation loop from
+    # re-evaluating every candidate after every single move.  Rows for
+    # every vertex on the source side of a flow are primed in one
+    # vectorised batch.
+    prime = list(dict.fromkeys(
+        v for i, _ in flows for v in by_source.get(i, ())
+    ))
+    rows = ws.attach_costs_batch(prime)
+    row_cache: Dict[VertexId, np.ndarray] = {
+        v: rows[k] for k, v in enumerate(prime)
+    }
+
+    def cost_row(v: VertexId) -> np.ndarray:
+        row = row_cache.get(v)
+        if row is None:
+            row = row_cache[v] = ws.attach_costs(v)
+        return row
 
     pairs = list(flows)
     rng.shuffle(pairs)
@@ -139,7 +177,7 @@ def rebalance(
         ti_i, ti_j = tindex[i], tindex[j]
         benefits = {}
         for v in movable:
-            costs = ws.attach_costs(v)
+            costs = cost_row(v)
             benefits[v] = float(costs[ti_i] - costs[ti_j])
         best_benefit = max(benefits.values())
         span = abs(best_benefit) if best_benefit != 0 else 1.0
@@ -149,11 +187,20 @@ def rebalance(
         ]
         dirty_window = [v for v in window if v in stats.dirty]
         pool = dirty_window or window
-        chosen = max(pool, key=lambda v: (qg.qverts[v].load_density(), str(v)))
+        chosen = max(
+            pool,
+            key=lambda v: (
+                qg.qverts[v].load_density(),
+                stable_vertex_key(qg.qverts[v]),
+            ),
+        )
 
         qv = qg.qverts[chosen]
         assignment[chosen] = j
         ws.set_position(chosen, j)
+        row_cache.pop(chosen, None)
+        for nb in qg.adj.get(chosen, ()):
+            row_cache.pop(nb, None)
         by_source[i].remove(chosen)
         by_source.setdefault(j, []).append(chosen)
         if chosen not in stats.dirty:
@@ -189,6 +236,7 @@ def refine_distribution(
     """
     rng = rng or random.Random(0)
     ws = workspace or CostWorkspace(qg, ng)
+    ws.ensure_synced()
     ws.init_positions(assignment)
     tindex = ws.target_index
     n_targets = len(ws.targets)
@@ -209,9 +257,29 @@ def refine_distribution(
 
     order = list(qg.qverts)
     rng.shuffle(order)
-    for vid in order:
-        qv = qg.qverts[vid]
+    # one vectorised pass computes every vertex's cost row up front; a
+    # move only changes the rows of the moved vertex's neighbours, so
+    # those few are marked stale and re-evaluated individually
+    batch = ws.attach_costs_batch(order)
+    stale: Set[VertexId] = set()
+    # exact pre-filter: a vertex whose best target (load feasibility
+    # aside) beats its current position by nothing cannot move under
+    # rule 2, and with no distinct "home" rule 1 cannot fire either --
+    # near equilibrium that is almost every vertex, and skipping them
+    # here avoids per-vertex numpy work entirely
+    hi_all = np.asarray([tindex[assignment[v]] for v in order], dtype=np.int64)
+    immobile = (
+        batch[np.arange(len(order)), hi_all] - batch.min(axis=1) <= 1e-9
+    )
+    for k, vid in enumerate(order):
         here = assignment[vid]
+        if (
+            vid not in stale
+            and immobile[k]
+            and original.get(vid, here) == here
+        ):
+            continue
+        qv = qg.qverts[vid]
         hi = tindex[here]
         w = qv.weight
 
@@ -221,7 +289,7 @@ def refine_distribution(
             continue
         fits = loads + w <= limits + 1e-9
 
-        costs = ws.attach_costs(vid)
+        costs = ws.attach_costs(vid) if vid in stale else batch[k]
 
         def apply(ti: int, target: VertexId) -> None:
             nonlocal moves, hi
@@ -229,6 +297,7 @@ def refine_distribution(
             assignment[vid] = target
             loads[ti] += w
             ws.set_position(vid, target)
+            stale.update(qg.adj.get(vid, ()))
             moves += 1
 
         # rule 1: go home if free

@@ -58,6 +58,9 @@ class SubstreamSpace:
     rates: np.ndarray
     source_of: np.ndarray
     _source_masks: Dict[int, int] = field(default_factory=dict, repr=False)
+    #: bumped on every in-place rate mutation; consumers that cache
+    #: rate-derived aggregates compare generations instead of rescanning
+    rates_generation: int = field(default=0, repr=False)
 
     def __post_init__(self):
         self.rates = np.asarray(self.rates, dtype=float)
@@ -160,6 +163,7 @@ class SubstreamSpace:
         """
         for sid in substream_ids:
             self.rates[sid] *= factor
+        self.rates_generation += 1
 
     def random_substreams(self, count: int, rng: random.Random) -> List[int]:
         return rng.sample(range(len(self)), count)

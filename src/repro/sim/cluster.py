@@ -153,6 +153,10 @@ class ScenarioParams:
     #: extra processors selected but kept outside the initial membership,
     #: available to :class:`~repro.sim.faults.ProcessorJoin` events
     spare_processors: int = 0
+    #: delta-maintained optimizer state across adaptation rounds (False
+    #: selects the full-rebuild reference mode; placements are
+    #: bit-identical either way)
+    opt_incremental: bool = True
 
 
 @dataclass
@@ -1965,7 +1969,10 @@ def run_scenario(
         oracle,
         processors,
         space,
-        cosmos_config or CosmosConfig(k=4, vmax=60, seed=seed),
+        cosmos_config
+        or CosmosConfig(
+            k=4, vmax=60, seed=seed, incremental=scenario.opt_incremental
+        ),
     )
     if scenario.initial_placement == "skewed":
         hosts = processors[: max(1, len(processors) // 8)]

@@ -1,0 +1,467 @@
+"""Incremental optimizer parity: delta maintenance == full rebuild.
+
+The optimizer stack delta-maintains its state across adaptation rounds --
+journaled graph mutations patch :class:`GraphArrays` snapshots in place,
+:class:`CostWorkspace` syncs instead of being reconstructed, coarse plans
+replay over signature-identical inputs, and converged coordinator levels
+skip their phases.  Every one of those shortcuts claims *bit-identical*
+results to the full-rebuild reference mode (``incremental=False``); these
+property-style tests drive randomized insert / remove / adapt / perturb
+interleavings through both modes side by side and assert exact equality
+of placements, per-coordinator vertex aggregates and WEC.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import Cosmos, CosmosConfig
+from repro.core.coarsening import (
+    coarsen_cached,
+    plan_key,
+    vertex_sig,
+)
+from repro.core.fastcost import CostWorkspace
+from repro.core.graphs import (
+    GraphArrays,
+    NetVertex,
+    NetworkGraph,
+    build_query_graph,
+    qvertex_from_query,
+)
+from repro.query.interest import SubstreamSpace, mask_of
+from repro.query.workload import QuerySpec, WorkloadParams, generate_workload
+from repro.topology import (
+    LatencyOracle,
+    TransitStubParams,
+    generate_transit_stub,
+    select_roles,
+)
+
+PARITY_SEEDS = list(range(8))
+
+
+@pytest.fixture(scope="module")
+def env():
+    topo = generate_transit_stub(
+        TransitStubParams(transit_domains=2, transit_nodes=3,
+                          stubs_per_transit_node=3, stub_nodes=4),
+        seed=3,
+    )
+    oracle = LatencyOracle(topo)
+    sources, processors = select_roles(topo, 5, 16, seed=4)
+    return topo, oracle, sources, processors
+
+
+def make_workload(env, seed, num_queries=100):
+    _, _, sources, processors = env
+    return generate_workload(
+        WorkloadParams(num_substreams=400, num_queries=num_queries,
+                       substreams_per_query=(8, 16)),
+        sources, processors, seed=seed,
+    )
+
+
+def make_pair(env, workload, vmax=15):
+    """Two Cosmos instances over one workload: incremental vs reference."""
+    _, oracle, _, processors = env
+    pair = []
+    for incremental in (True, False):
+        cosmos = Cosmos(
+            oracle, processors, workload.space,
+            CosmosConfig(k=4, vmax=vmax, incremental=incremental),
+        )
+        pair.append(cosmos)
+    return pair
+
+
+def coord_fingerprint(coord):
+    """Content signature of one coordinator's optimizer state.
+
+    Coarse vertex *ids* embed a process-global counter and legitimately
+    differ between two runs; member keys and aggregate signatures do not.
+    """
+    sigs = sorted(vertex_sig(v) for v in coord.vertices.values())
+    # non-leaf targets are child coordinator names (instance-specific
+    # counters too) -- normalize them to the child's cluster membership
+    norm = {
+        c.name: tuple(sorted(c.cluster.members)) for c in coord.children
+    }
+    assign = sorted(
+        (plan_key(coord.vertices[vid]), norm.get(target, target))
+        for vid, target in coord.assignment.items()
+        if vid in coord.vertices
+    )
+    return sigs, assign
+
+
+def assert_parity(ca, cb):
+    assert dict(ca.placement) == dict(cb.placement)
+    coords_a = ca.root.all_coordinators()
+    coords_b = cb.root.all_coordinators()
+    assert len(coords_a) == len(coords_b)
+    for a, b in zip(coords_a, coords_b):
+        # coordinator names embed a process-global counter and differ
+        # between instances; pair by traversal order + cluster identity
+        assert a.cluster.members == b.cluster.members
+        assert coord_fingerprint(a) == coord_fingerprint(b)
+        # WEC of the current assignment must agree bit for bit: the
+        # incremental side evaluates a patched snapshot + synced
+        # workspace, the reference side a fresh rebuild
+        wa = a.qg.wec(a.assignment, a.ng)
+        wb = b.qg.wec(b.assignment, b.ng)
+        assert wa == wb
+
+
+class TestCosmosModeParity:
+    """Randomized interleavings drive both modes to identical states."""
+
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_interleaved_ops_bit_identical(self, env, seed):
+        _, _, _, processors = env
+        workload = make_workload(env, seed=100 + seed)
+        ca, cb = make_pair(env, workload)
+        rng = random.Random(9000 + seed)
+
+        for cosmos in (ca, cb):
+            cosmos.distribute(workload.queries)
+        assert_parity(ca, cb)
+
+        live = [q.query_id for q in workload.queries]
+        specs = {q.query_id: q for q in workload.queries}
+        for _ in range(6):
+            r = rng.random()
+            if r < 0.35:
+                fresh = workload.new_queries(rng.randint(1, 5), processors)
+                for q in fresh:
+                    specs[q.query_id] = q
+                    live.append(q.query_id)
+                    ha = ca.insert(q)
+                    hb = cb.insert(q)
+                    assert ha == hb
+            elif r < 0.60 and len(live) > 10:
+                for qid in rng.sample(live, rng.randint(1, 4)):
+                    live.remove(qid)
+                    assert ca.remove(qid) == cb.remove(qid)
+            elif r < 0.80:
+                ca.adapt()
+                cb.adapt()
+            else:
+                ids = workload.space.random_substreams(20, rng)
+                workload.space.perturb_rates(ids, rng.choice([0.25, 4.0]))
+                for cosmos in (ca, cb):
+                    cosmos.refresh_statistics(workload)
+                ca.adapt()
+                cb.adapt()
+            assert dict(ca.placement) == dict(cb.placement)
+        assert_parity(ca, cb)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_membership_churn_parity(self, env, seed):
+        """Processor join/leave rebuilds the hierarchy through the coarse
+        plan cache on the incremental side; placements must not diverge."""
+        workload = make_workload(env, seed=200 + seed)
+        ca, cb = make_pair(env, workload)
+        for cosmos in (ca, cb):
+            cosmos.distribute(workload.queries)
+        specs = {q.query_id: q for q in workload.queries}
+
+        victim = sorted(set(ca.placement.values()))[seed]
+        orphans_a = ca.remove_processor(victim)
+        orphans_b = cb.remove_processor(victim)
+        assert orphans_a == orphans_b
+        for qid in orphans_a:
+            assert ca.insert(specs[qid]) == cb.insert(specs[qid])
+        ca.adapt()
+        cb.adapt()
+        assert_parity(ca, cb)
+
+        ca.add_processor(victim)
+        cb.add_processor(victim)
+        ca.adapt()
+        cb.adapt()
+        assert_parity(ca, cb)
+
+    def test_repeat_adapt_converges_and_skips(self, env):
+        from repro.obs.registry import MetricsRegistry, set_active
+
+        workload = make_workload(env, seed=300)
+        ca, cb = make_pair(env, workload)
+        for cosmos in (ca, cb):
+            cosmos.distribute(workload.queries)
+        # steady-state rounds: converged coordinator levels must skip
+        # their optimization phases (tie-break churn may keep a level
+        # busy indefinitely, so global quiescence is not asserted) while
+        # the two modes stay in lockstep round after round
+        reg = MetricsRegistry()
+        set_active(reg)
+        try:
+            for _ in range(5):
+                ca.adapt()
+                cb.adapt()
+                assert dict(ca.placement) == dict(cb.placement)
+        finally:
+            set_active(None)
+        assert reg.counters.get("opt.adapt_skips", 0) > 0
+        # skipped levels really did no per-round work: every coordinator
+        # that reported zero moves kept its assignment verbatim
+        for a, b in zip(ca.root.all_coordinators(),
+                        cb.root.all_coordinators()):
+            assert (a._last_moves == 0) == (b._last_moves == 0)
+            if a._last_moves == 0:
+                assert coord_fingerprint(a) == coord_fingerprint(b)
+
+
+class TestRemovalCycles:
+    """Satellite: insert -> remove -> insert cycles neither leak vertices
+    nor corrupt the delta-maintained snapshot cache."""
+
+    def test_long_churn_cycle_no_leaks(self, env):
+        _, oracle, _, processors = env
+        workload = make_workload(env, seed=400, num_queries=80)
+        cosmos = Cosmos(
+            oracle, processors, workload.space,
+            CosmosConfig(k=4, vmax=10, incremental=True),
+        )
+        cosmos.distribute(workload.queries)
+        rng = random.Random(42)
+        live = [q.query_id for q in workload.queries]
+        specs = {q.query_id: q for q in workload.queries}
+
+        for round_no in range(10):
+            victims = rng.sample(live, 6)
+            for qid in victims:
+                live.remove(qid)
+                assert cosmos.remove(qid)
+            fresh = workload.new_queries(6, processors)
+            for q in fresh:
+                specs[q.query_id] = q
+                live.append(q.query_id)
+                cosmos.insert(q)
+            if round_no % 3 == 2:
+                cosmos.adapt()
+
+        live_set = set(live)
+        assert set(cosmos.placement) == live_set
+        for coord in cosmos.root.all_coordinators():
+            members = [
+                m for v in coord.vertices.values() for m in v.members
+            ]
+            # no departed query survives in any (coarse) vertex, and no
+            # member is double-counted after strip/compress cycles
+            assert set(members) <= live_set
+            assert len(members) == len(set(members))
+            for v in coord.vertices.values():
+                if v.children:
+                    assert v.weight == pytest.approx(
+                        sum(c.weight for c in v.children)
+                    )
+            # the delta-maintained snapshot still agrees with a scratch
+            # rebuild of the same graph, bit for bit
+            arrays = coord.qg.arrays_for(coord.ng)
+            fresh_arrays = GraphArrays(coord.qg, coord.ng)
+            mapping = {
+                vid: t for vid, t in coord.assignment.items()
+                if vid in coord.qg.qverts
+            }
+            assert arrays.wec(mapping) == fresh_arrays.wec(mapping)
+            assert np.array_equal(
+                arrays.loads(mapping), fresh_arrays.loads(mapping)
+            )
+            # no orphaned n-vertices accumulate in the live graph
+            for nvid in coord.qg.nverts:
+                assert coord.qg.neighbors(nvid), f"orphan n-vertex {nvid}"
+
+
+class TestCoarsePlanReuse:
+    @pytest.fixture(scope="class")
+    def coarse_env(self, env):
+        workload = make_workload(env, seed=500, num_queries=60)
+        _, oracle, _, processors = env
+        ng = NetworkGraph(
+            [
+                NetVertex(vid=("p", p), site=p, capability=1.0,
+                          covers=frozenset([p]))
+                for p in processors[:5]
+            ],
+            oracle,
+        )
+        verts = [qvertex_from_query(q, workload.space) for q in workload.queries]
+        graph = build_query_graph(verts, workload.space, ng)
+        return workload, ng, graph
+
+    def _rebuild(self, coarse_env):
+        workload, ng, _ = coarse_env
+        verts = [
+            qvertex_from_query(q, workload.space) for q in workload.queries
+        ]
+        return build_query_graph(verts, workload.space, ng)
+
+    def test_full_hit_bit_identical(self, coarse_env):
+        workload, _, graph = coarse_env
+        out1, plan, reused1 = coarsen_cached(
+            graph, 12, workload.space, origin="t", rng=random.Random(7)
+        )
+        assert reused1 == "none"
+        fresh_graph = self._rebuild(coarse_env)
+        out2, plan2, reused2 = coarsen_cached(
+            fresh_graph, 12, workload.space, origin="t",
+            rng=random.Random(7), plan=plan, mode="replay",
+        )
+        assert reused2 == "full"
+        assert plan2 is plan
+        assert [vertex_sig(v) for v in out1] == [vertex_sig(v) for v in out2]
+        # replay rebinds children to the *current* input objects
+        current = {plan_key(v): v for v in fresh_graph.qverts.values()}
+        for v in out2:
+            stack = list(v.children)
+            while stack:
+                c = stack.pop()
+                if c.children:
+                    stack.extend(c.children)
+                else:
+                    assert current[plan_key(c)] is c
+
+    def test_dirty_input_misses_in_replay_mode(self, coarse_env):
+        workload, _, graph = coarse_env
+        out1, plan, _ = coarsen_cached(
+            graph, 12, workload.space, origin="t", rng=random.Random(7)
+        )
+        fresh_graph = self._rebuild(coarse_env)
+        dirty = next(iter(fresh_graph.qverts.values()))
+        dirty.weight *= 3.0
+        out2, plan2, reused = coarsen_cached(
+            fresh_graph, 12, workload.space, origin="t",
+            rng=random.Random(7), plan=plan, mode="replay",
+        )
+        assert reused == "none"
+        assert plan2 is not plan
+
+    def test_partial_reuse_invariants(self, coarse_env):
+        workload, _, graph = coarse_env
+        out1, plan, _ = coarsen_cached(
+            graph, 12, workload.space, origin="t", rng=random.Random(7)
+        )
+        fresh_graph = self._rebuild(coarse_env)
+        dirty = next(iter(fresh_graph.qverts.values()))
+        dirty.weight *= 3.0
+        out2, plan2, reused = coarsen_cached(
+            fresh_graph, 12, workload.space, origin="t",
+            rng=random.Random(7), plan=plan, mode="partial",
+        )
+        assert reused == "partial"
+        assert len(out2) <= 12
+        # the coarse outputs partition exactly the input member universe
+        in_members = sorted(
+            m for v in fresh_graph.qverts.values() for m in v.members
+        )
+        out_members = sorted(m for v in out2 for m in v.members)
+        assert in_members == out_members
+        for v in out2:
+            if v.children:
+                assert v.weight == pytest.approx(
+                    sum(c.weight for c in v.children)
+                )
+
+
+class TestSnapshotAndWorkspaceParity:
+    """Randomized mutation sequences: patched state == scratch state."""
+
+    @pytest.fixture(scope="class")
+    def small(self):
+        space = SubstreamSpace.random(300, sources=[0, 40, 80], seed=11)
+        ng = NetworkGraph(
+            [
+                NetVertex(vid=f"P{i}", site=i * 5, capability=1.0,
+                          covers=frozenset([i * 5]))
+                for i in range(5)
+            ],
+            lambda a, b: abs(a - b),
+        )
+        return space, ng
+
+    def _make_graph(self, space, ng, n, seed):
+        rng = random.Random(seed)
+        verts = []
+        for i in range(n):
+            ids = rng.sample(range(len(space)), rng.randint(4, 14))
+            mask = mask_of(ids)
+            verts.append(qvertex_from_query(
+                QuerySpec(query_id=i, proxy=rng.choice([0, 5, 10]),
+                          mask=mask, group=0, load=0.01 * space.rate(mask),
+                          result_rate=1.0, state_size=rng.uniform(1, 4)),
+                space,
+            ))
+        return build_query_graph(verts, space, ng)
+
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_patched_arrays_and_synced_workspace(self, small, seed):
+        space, ng = small
+        g = self._make_graph(space, ng, 24, seed)
+        ws = CostWorkspace(g, ng)
+        rng = random.Random(seed * 13 + 1)
+        next_qid = 1000
+
+        for step in range(120):
+            op = rng.random()
+            qvids = list(g.qverts)
+            if op < 0.40 and len(qvids) >= 2:
+                a, b = rng.sample(qvids, 2)
+                if rng.random() < 0.3:
+                    g.set_edge(a, b, 0.0)
+                else:
+                    g.set_edge(a, b, rng.uniform(0.1, 5.0))
+            elif op < 0.60:
+                ids = rng.sample(range(len(space)), rng.randint(4, 14))
+                mask = mask_of(ids)
+                v = qvertex_from_query(
+                    QuerySpec(query_id=next_qid, proxy=rng.choice([0, 5, 10]),
+                              mask=mask, group=0,
+                              load=0.01 * space.rate(mask),
+                              result_rate=1.0, state_size=1.0),
+                    space,
+                )
+                next_qid += 1
+                g.add_qvertex(v)
+                if qvids:
+                    g.set_edge(v.vid, rng.choice(qvids), rng.uniform(0.1, 2))
+            elif op < 0.75 and len(qvids) > 5:
+                g.remove_vertex(rng.choice(qvids))
+            else:
+                pass  # no-op round: snapshots must still agree
+
+            if step % 10 == 9:
+                mapping = {
+                    vid: rng.choice(ng.ids()) for vid in g.qverts
+                }
+                patched = g.arrays_for(ng)
+                fresh = GraphArrays(g, ng)
+                assert patched.wec(mapping) == fresh.wec(mapping)
+                assert np.array_equal(
+                    patched.loads(mapping), fresh.loads(mapping)
+                )
+                ws.ensure_synced()
+                ws.init_positions(mapping)
+                ws2 = CostWorkspace(g, ng)
+                ws2.init_positions(mapping)
+                for vid in list(g.qverts)[:8]:
+                    got = ws.attach_costs(vid)
+                    want = ws2.attach_costs(vid)
+                    assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("seed", [0, 3, 5])
+    def test_tracked_wec_matches_full_recompute(self, small, seed):
+        space, ng = small
+        g = self._make_graph(space, ng, 30, seed + 50)
+        arrays = g.arrays_for(ng)
+        rng = random.Random(seed)
+        mapping = {vid: rng.choice(ng.ids()) for vid in g.qverts}
+        total = arrays.begin_moves(mapping)
+        assert total == arrays.wec(mapping)
+        for _ in range(60):
+            vid = rng.choice(list(g.qverts))
+            target = rng.choice(ng.ids())
+            mapping[vid] = target
+            tracked = arrays.update(vid, target)
+            assert tracked == pytest.approx(arrays.wec(mapping), rel=1e-9)
